@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one figure of the paper: it runs the
+experiment once under pytest-benchmark's timer, prints the figure's
+series/summary as text tables, and asserts the paper's qualitative shape
+(who wins, by roughly what factor).  Durations are scaled down from the
+paper's 10-minute sessions — see EXPERIMENTS.md for the mapping.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,41 @@
+"""Extension: RAN-aware congestion control vs end-to-end AIMD (§6).
+
+The paper's motivating application (and the PBE-CC line of work it
+cites): spare-capacity feedback from NR-Scope lets a sender track the
+radio capacity directly, where an end-to-end loop must probe for it a
+round trip at a time.
+"""
+
+from repro.analysis.report import print_tables, series_table
+from repro.experiments import ext_congestion
+
+
+def test_ext_ran_aware_congestion_control(once):
+    ran_aware, baseline = once(ext_congestion.run, duration_s=6.0)
+    result = ext_congestion.to_result(ran_aware, baseline)
+    print()
+    print_tables([
+        ext_congestion.table(ran_aware, baseline),
+        series_table("RAN-aware offered rate (bps)",
+                     list(zip(ran_aware.times, ran_aware.offered_bps)),
+                     "t s", "offered bps", max_rows=8),
+        series_table("e2e AIMD offered rate (bps)",
+                     list(zip(baseline.times, baseline.offered_bps)),
+                     "t s", "offered bps", max_rows=8),
+    ])
+    print("summary:", {k: round(v, 2) for k, v in result.summary.items()})
+
+    # Shape: RAN-aware feedback wins on goodput by a wide margin —
+    # it rides the measured capacity instead of probing for it.
+    assert result.summary["ran_aware_goodput_mbps"] > \
+        1.5 * result.summary["e2e_goodput_mbps"]
+    # Both senders survive the mid-session blockage (no collapse):
+    # goodput in the final third recovers for each.
+    import numpy as np
+    for trace in (ran_aware, baseline):
+        thirds = np.array_split(np.array(trace.delivered_bps), 3)
+        assert thirds[2].mean() > 0.5 * thirds[0].mean(), trace.name
+    # The RAN-aware sender's queue does not blow up relative to the
+    # AIMD baseline despite running ~4x the rate.
+    assert result.summary["ran_aware_peak_backlog_kb"] < \
+        3 * max(result.summary["e2e_peak_backlog_kb"], 50.0)

@@ -1,0 +1,28 @@
+"""Fig 7: DCI miss rate vs number of UEs.
+
+Paper result: miss rates stay in the sub-percent range — 0.33%/0.28%
+(srsRAN DL/UL) and 0.93%/0.31% (Amarisoft), "two 9's of reliability".
+"""
+
+from repro.analysis.report import print_tables
+from repro.experiments import fig07_dci_miss as fig7
+
+
+def test_fig07_dci_miss_rate(once):
+    srsran, amarisoft = once(fig7.run, duration_s=4.0)
+    result = fig7.to_result(srsran, amarisoft)
+    print()
+    print_tables([
+        fig7.table(srsran, "Fig 7a - DCI miss rate, srsRAN (paper:"
+                           " 0.33% DL / 0.28% UL)"),
+        fig7.table(amarisoft, "Fig 7b - DCI miss rate, Amarisoft (paper:"
+                              " 0.93% DL / 0.31% UL)"),
+    ])
+    print("summary:", {k: round(v, 3) for k, v in result.summary.items()})
+
+    # Shape: sub-percent misses at lab SNR, i.e. two 9's of reliability.
+    for key, value in result.summary.items():
+        assert value < 2.0, f"{key} = {value}% breaks the two-9s claim"
+    # Enough DCIs flowed for the rates to be meaningful.
+    assert all(r.n_dl_dcis > 100 for r in srsran)
+    assert all(r.n_dl_dcis > 200 for r in amarisoft)

@@ -1,0 +1,36 @@
+"""Fig 10: UE active time in commercial T-Mobile cells.
+
+Paper result: 400-600 distinct UEs per 10 minutes in cell 1, 100-200 in
+cell 2; 90% of UEs stay in the RAN for less than 35 seconds.
+"""
+
+from repro.analysis.report import print_tables, series_table
+from repro.experiments import fig10_active_time as fig10
+
+
+def test_fig10_ue_active_time(benchmark):
+    series = benchmark(fig10.run)
+    result = fig10.to_result(series)
+    print()
+    print_tables([
+        fig10.table(series),
+        series_table("Fig 10 CCDF (afternoon, cell 1)",
+                     next(s for s in series
+                          if s.cell == 1
+                          and s.time_of_day == "afternoon").ccdf(),
+                     "active time s", "CCDF", max_rows=10),
+    ])
+    print("summary:", {k: round(v, 3) for k, v in result.summary.items()})
+
+    # Shape: the paper's come-and-go pattern.
+    assert 0.85 <= result.summary["fraction_under_35s"] <= 0.95
+    assert 25.0 <= result.summary["p90_holding_s"] <= 45.0
+    assert 350 <= result.summary["cell1_distinct_min"]
+    assert result.summary["cell1_distinct_max"] <= 700
+    assert 80 <= result.summary["cell2_distinct_min"]
+    assert result.summary["cell2_distinct_max"] <= 250
+    # Cell 1 is the busier cell at every time of day.
+    cell1 = {s.time_of_day: s.distinct_ues for s in series if s.cell == 1}
+    cell2 = {s.time_of_day: s.distinct_ues for s in series if s.cell == 2}
+    for time_of_day in cell1:
+        assert cell1[time_of_day] > cell2[time_of_day]

@@ -1,0 +1,32 @@
+"""Fig 11: number of active UEs per second and per minute.
+
+Paper result: the gNB schedules fewer than ~60 UEs in most one-minute
+periods; per-second counts are much lower.
+"""
+
+from repro.analysis.report import print_tables, series_table
+from repro.experiments import fig11_ue_counts as fig11
+
+
+def test_fig11_active_ue_counts(benchmark):
+    series = benchmark(fig11.run)
+    result = fig11.to_result(series)
+    print()
+    print_tables([
+        fig11.table(series),
+        series_table("Fig 11 CDF (cell 1, 1 minute)",
+                     next(s for s in series
+                          if s.cell == 1 and s.bin_s == 60.0).cdf(),
+                     "UEs", "CDF", max_rows=10),
+    ])
+    print("summary:", {k: round(v, 1) for k, v in result.summary.items()})
+
+    # Shape: minute-scale counts sit below ~60-80 UEs; second-scale
+    # counts are far smaller (sessions are short).
+    assert result.summary["minute_p50"] < 80
+    assert result.summary["second_p50"] < result.summary["minute_p50"]
+    for line in series:
+        sibling = next(s for s in series
+                       if s.cell == line.cell and s.bin_s != line.bin_s)
+        if line.bin_s == 60.0:
+            assert line.median > sibling.median

@@ -1,0 +1,28 @@
+"""Fig 13: DCI miss rate across the floor (64 UEs).
+
+Paper result: miss rates near zero over most of the floor, rising only
+where the sniffer's signal quality degrades (far corners).
+"""
+
+from repro.analysis.report import print_tables
+from repro.experiments import fig13_coverage as fig13
+
+
+def test_fig13_floor_coverage(once):
+    cells = once(fig13.run, n_ues=64, duration_s=1.0)
+    result = fig13.to_result(cells)
+    print()
+    print_tables([fig13.table(cells)])
+    print("summary:", {k: round(v, 3) for k, v in result.summary.items()})
+
+    # Shape: near positions decode essentially everything; miss rate
+    # rises with distance from the gNB.
+    assert result.summary["near_dl_pct"] < 2.0
+    assert result.summary["far_dl_pct"] >= result.summary["near_dl_pct"]
+    # SNR gradient exists across the floor.
+    snrs = [c.sniffer_snr_db for c in cells]
+    assert max(snrs) - min(snrs) > 5.0
+    # The best spot is essentially lossless ("users can find a location
+    # with good signal quality and stay there").
+    best = min(cells, key=lambda c: c.dl_miss_rate)
+    assert best.dl_miss_rate < 0.02

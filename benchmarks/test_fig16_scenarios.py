@@ -1,0 +1,33 @@
+"""Fig 16: throughput error by UE scenario, and packet aggregation.
+
+Paper results: (a-c) throughput estimation stays accurate across
+static, blocked and moving UEs; (d) packets aggregate into a TTI far
+more heavily when the flow competes for the cell than when capacity is
+spare.
+"""
+
+from repro.analysis.report import print_tables
+from repro.experiments import fig16_scenarios as fig16
+
+
+def run_all():
+    return (fig16.run_scenarios(duration_s=4.0),
+            fig16.run_aggregation(duration_s=4.0))
+
+
+def test_fig16_scenarios_and_aggregation(once):
+    scenarios, aggregation = once(run_all)
+    result = fig16.to_result(scenarios, aggregation)
+    print()
+    print_tables([fig16.scenario_table(scenarios),
+                  fig16.aggregation_table(aggregation)])
+    print("summary:", {k: round(v, 3) for k, v in result.summary.items()})
+
+    # Shape (a-c): every scenario's median error stays in the tens of
+    # kbps against multi-Mbps flows.
+    for scenario in fig16.SCENARIOS:
+        assert result.summary[f"{scenario}_median_kbps"] < 200.0
+    # Shape (d): competition aggregates markedly more packets per TTI.
+    assert result.summary["competing_mean_pkts"] > \
+        2.0 * result.summary["spare_mean_pkts"]
+    assert result.summary["spare_mean_pkts"] < 4.0

@@ -1,0 +1,17 @@
+"""Ground-truth matching, metrics and report rendering."""
+
+from repro.analysis.matching import MatchResult, match_dcis, \
+    per_tti_reg_errors
+from repro.analysis.metrics import ErrorSummary, ccdf_points, cdf_points, \
+    coefficient_of_determination, percentile, relative_error, \
+    summarize_errors, throughput_error_series
+from repro.analysis.report import Table, print_tables, series_table
+from repro.analysis.summary import SessionReport, build_session_report
+
+__all__ = [
+    "ErrorSummary", "MatchResult", "Table", "ccdf_points", "cdf_points",
+    "coefficient_of_determination", "match_dcis", "per_tti_reg_errors",
+    "SessionReport", "build_session_report", "percentile",
+    "print_tables", "relative_error", "series_table", "summarize_errors",
+    "throughput_error_series",
+]

@@ -1,0 +1,133 @@
+"""Matching NR-Scope decodes against gNB ground truth (section 5.2.1).
+
+"We match the number of DCIs captured by NR-Scope and srsRAN's log using
+the timestamp and the TTI index, through which we calculate a DCI
+decoding miss rate."  The matcher keys both sides by
+``(slot index, RNTI, direction)`` and reports matches, misses (in the
+log, not decoded) and phantoms (decoded, not in the log — with the CRC
+gate these should not occur, and a test asserts they do not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.telemetry import TelemetryRecord
+from repro.gnb.gnb import DciRecord
+
+
+class MatchingError(ValueError):
+    """Raised for malformed match inputs."""
+
+
+@dataclass(frozen=True)
+class MatchKey:
+    """Identity of one DCI for matching purposes.
+
+    The HARQ process id disambiguates a retransmission and a new-data
+    DCI for the same UE landing in the same TTI.
+    """
+
+    slot_index: int
+    rnti: int
+    downlink: bool
+    harq_id: int
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one session against ground truth."""
+
+    matched: list[tuple[DciRecord, TelemetryRecord]] = \
+        field(default_factory=list)
+    missed: list[DciRecord] = field(default_factory=list)
+    phantom: list[TelemetryRecord] = field(default_factory=list)
+
+    @property
+    def n_ground_truth(self) -> int:
+        return len(self.matched) + len(self.missed)
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of transmitted DCIs the sniffer did not decode."""
+        total = self.n_ground_truth
+        if total == 0:
+            return 0.0
+        return len(self.missed) / total
+
+    def reg_errors(self) -> list[int]:
+        """|decoded REGs - true REGs| per matched DCI (Fig 8's metric)."""
+        return [abs(est.n_regs - gt.grant.n_regs)
+                for gt, est in self.matched]
+
+
+def _truth_key(record: DciRecord) -> MatchKey:
+    return MatchKey(slot_index=record.slot_index, rnti=record.rnti,
+                    downlink=record.grant.downlink,
+                    harq_id=record.dci.harq_id)
+
+
+def _estimate_key(record: TelemetryRecord) -> MatchKey:
+    return MatchKey(slot_index=record.slot_index, rnti=record.rnti,
+                    downlink=record.downlink, harq_id=record.harq_id)
+
+
+def match_dcis(ground_truth: list[DciRecord],
+               estimates: list[TelemetryRecord],
+               downlink: bool | None = None,
+               rnti: int | None = None) -> MatchResult:
+    """Match decoded telemetry against the gNB log.
+
+    Filters apply to both sides; a ground-truth DCI can match at most one
+    estimate (duplicate decodes of the same key become phantoms).
+    """
+    result = MatchResult()
+    wanted_truth = [r for r in ground_truth
+                    if (downlink is None or r.grant.downlink == downlink)
+                    and (rnti is None or r.rnti == rnti)]
+    wanted_estimates = [r for r in estimates
+                        if (downlink is None or r.downlink == downlink)
+                        and (rnti is None or r.rnti == rnti)]
+    by_key: dict[MatchKey, TelemetryRecord] = {}
+    duplicates: list[TelemetryRecord] = []
+    for estimate in wanted_estimates:
+        key = _estimate_key(estimate)
+        if key in by_key:
+            duplicates.append(estimate)
+        else:
+            by_key[key] = estimate
+    for truth in wanted_truth:
+        estimate = by_key.pop(_truth_key(truth), None)
+        if estimate is None:
+            result.missed.append(truth)
+        else:
+            result.matched.append((truth, estimate))
+    result.phantom.extend(by_key.values())
+    result.phantom.extend(duplicates)
+    return result
+
+
+def per_tti_reg_errors(ground_truth: list[DciRecord],
+                       estimates: list[TelemetryRecord],
+                       downlink: bool = True) -> list[int]:
+    """REG-count error per TTI, aggregated over all UEs (Fig 8).
+
+    The paper compares the total number of REGs decoded within each TTI
+    against the log; a missed DCI therefore shows up as that whole
+    grant's REGs.
+    """
+    truth_by_slot: dict[int, int] = {}
+    for record in ground_truth:
+        if record.grant.downlink != downlink:
+            continue
+        truth_by_slot[record.slot_index] = \
+            truth_by_slot.get(record.slot_index, 0) + record.grant.n_regs
+    est_by_slot: dict[int, int] = {}
+    for record in estimates:
+        if record.downlink != downlink:
+            continue
+        est_by_slot[record.slot_index] = \
+            est_by_slot.get(record.slot_index, 0) + record.n_regs
+    slots = sorted(set(truth_by_slot) | set(est_by_slot))
+    return [abs(truth_by_slot.get(slot, 0) - est_by_slot.get(slot, 0))
+            for slot in slots]

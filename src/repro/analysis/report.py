@@ -1,0 +1,71 @@
+"""Text rendering of the paper's tables and figure series.
+
+Every experiment module produces structured rows; this module turns them
+into the aligned text tables the benchmark harness prints, so a run's
+output can be eyeballed against the paper figure it reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ReportError(ValueError):
+    """Raised for inconsistent table shapes."""
+
+
+@dataclass(frozen=True)
+class Table:
+    """A titled table with typed columns."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            if len(row) != len(self.columns):
+                raise ReportError(
+                    f"row width {len(row)} != header {len(self.columns)}")
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title,
+                 "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns)),
+                 "  ".join("-" * w for w in widths)]
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def series_table(title: str, series: list[tuple[float, float]],
+                 x_label: str, y_label: str,
+                 max_rows: int = 20) -> Table:
+    """A down-sampled (x, y) table for CCDF/CDF/time series."""
+    if not series:
+        raise ReportError(f"empty series for {title!r}")
+    step = max(1, len(series) // max_rows)
+    sampled = series[::step]
+    if sampled[-1] != series[-1]:
+        sampled.append(series[-1])
+    return Table(title=title, columns=(x_label, y_label),
+                 rows=tuple((x, y) for x, y in sampled))
+
+
+def print_tables(tables: list[Table]) -> str:
+    """Render and join many tables; returns (and prints) the text."""
+    text = "\n\n".join(t.render() for t in tables)
+    print(text)
+    return text

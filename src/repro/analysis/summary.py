@@ -1,0 +1,123 @@
+"""Session report: one human-readable summary of a telemetry run.
+
+Condenses everything a finished :class:`~repro.core.scope.NRScope`
+session knows — per-UE throughput, MCS, retransmissions, CQI and
+scheduling requests, plus cell-level utilisation — into the text report
+the tool's operator reads after a capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+
+
+class SummaryError(ValueError):
+    """Raised when a report is requested from an unusable session."""
+
+
+@dataclass(frozen=True)
+class UeSummary:
+    """One UE's session statistics."""
+
+    rnti: int
+    dl_mbps: float
+    ul_mbps: float
+    mean_mcs: float
+    retx_ratio: float
+    latest_cqi: int | None
+    scheduling_requests: int
+    active_time_s: float
+    n_dcis: int
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Cell-level aggregates."""
+
+    duration_s: float
+    slots_observed: int
+    dcis_decoded: int
+    ues_discovered: int
+    ues_missed: int
+    aggregate_dl_mbps: float
+    mean_prb_utilisation: float
+
+
+@dataclass
+class SessionReport:
+    """The full report: cell aggregates plus per-UE rows."""
+
+    cell: CellSummary
+    ues: list[UeSummary]
+
+    def render(self) -> str:
+        """Multi-table text rendering."""
+        header = (
+            f"Telemetry session: {self.cell.duration_s:.1f} s, "
+            f"{self.cell.slots_observed} slots observed, "
+            f"{self.cell.dcis_decoded} DCIs decoded\n"
+            f"UEs: {self.cell.ues_discovered} discovered via RACH"
+            f" ({self.cell.ues_missed} missed), aggregate DL "
+            f"{self.cell.aggregate_dl_mbps:.2f} Mbps, mean PRB "
+            f"utilisation {100 * self.cell.mean_prb_utilisation:.1f}%")
+        table = Table(
+            title="Per-UE telemetry",
+            columns=("RNTI", "DL Mbps", "UL Mbps", "MCS", "retx %",
+                     "CQI", "SRs", "active s", "DCIs"),
+            rows=tuple((f"0x{u.rnti:04x}", u.dl_mbps, u.ul_mbps,
+                        u.mean_mcs, 100 * u.retx_ratio,
+                        u.latest_cqi if u.latest_cqi is not None else "-",
+                        u.scheduling_requests, u.active_time_s,
+                        u.n_dcis) for u in self.ues))
+        return header + "\n\n" + table.render()
+
+
+def build_session_report(scope, duration_s: float,
+                         n_prb_carrier: int | None = None) \
+        -> SessionReport:
+    """Assemble a report from a finished scope session."""
+    if duration_s <= 0:
+        raise SummaryError(f"duration must be positive: {duration_s}")
+    telemetry = scope.telemetry
+    ues: list[UeSummary] = []
+    aggregate_dl_bits = 0
+    for rnti in telemetry.rntis():
+        records = telemetry.for_rnti(rnti)
+        dl_bits = telemetry.bits_between(rnti, 0.0, duration_s,
+                                         downlink=True)
+        ul_bits = telemetry.bits_between(rnti, 0.0, duration_s,
+                                         downlink=False)
+        aggregate_dl_bits += dl_bits
+        mcs = telemetry.mcs_distribution(rnti)
+        first = records[0].time_s
+        last = records[-1].time_s
+        ues.append(UeSummary(
+            rnti=rnti,
+            dl_mbps=dl_bits / duration_s / 1e6,
+            ul_mbps=ul_bits / duration_s / 1e6,
+            mean_mcs=float(np.mean(mcs)) if mcs else 0.0,
+            retx_ratio=telemetry.retransmission_ratio(rnti),
+            latest_cqi=scope.uci.latest_cqi(rnti),
+            scheduling_requests=scope.uci.scheduling_request_count(rnti),
+            active_time_s=max(last - first, 0.0),
+            n_dcis=len(records)))
+    ues.sort(key=lambda u: -u.dl_mbps)
+
+    utilisation = 0.0
+    if scope.spare is not None and scope.spare.history:
+        n_prb = n_prb_carrier or scope.spare.n_prb_carrier
+        used = [usage.used_prbs for usage, _ in scope.spare.history]
+        utilisation = float(np.mean(used)) / n_prb
+    cell = CellSummary(
+        duration_s=duration_s,
+        slots_observed=scope.counters.slots_observed,
+        dcis_decoded=scope.counters.dcis_decoded,
+        ues_discovered=scope.counters.msg4_seen,
+        ues_missed=scope.counters.msg4_missed,
+        aggregate_dl_mbps=aggregate_dl_bits / duration_s / 1e6,
+        mean_prb_utilisation=utilisation)
+    return SessionReport(cell=cell, ues=ues)

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Mirrors how the released NR-Scope tool is driven from a terminal:
+
+* ``sniff``    - run a telemetry session against a simulated cell and
+  stream/emit the decoded telemetry (optionally as a JSONL log file,
+  the paper Fig 4 "log file" output).
+* ``cells``    - list the built-in cell profiles (section 5.1 testbeds).
+* ``figure``   - regenerate one paper figure's table on stdout.
+* ``survey``   - commercial-cell population survey (sections 5.3.1/6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import print_tables
+from repro.core.scope import NRScope
+from repro.gnb.cell_config import ALL_PROFILES
+from repro.simulation import Simulation
+
+
+class CliError(ValueError):
+    """Raised for invalid command-line usage."""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NR-Scope reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sniff = sub.add_parser("sniff", help="run one telemetry session")
+    sniff.add_argument("--profile", default="srsran",
+                       choices=sorted(ALL_PROFILES))
+    sniff.add_argument("--ues", type=int, default=2)
+    sniff.add_argument("--seconds", type=float, default=2.0)
+    sniff.add_argument("--seed", type=int, default=0)
+    sniff.add_argument("--traffic", default="mixed")
+    sniff.add_argument("--channel", default="pedestrian")
+    sniff.add_argument("--snr-db", type=float, default=18.0,
+                       help="sniffer receive SNR")
+    sniff.add_argument("--fidelity", default="message",
+                       choices=["message", "iq"])
+    sniff.add_argument("--json", metavar="PATH", default=None,
+                       help="write the telemetry log as JSON lines")
+    sniff.add_argument("--report", action="store_true",
+                       help="print the full per-UE session report")
+
+    sub.add_parser("cells", help="list built-in cell profiles")
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name",
+                        choices=["fig7", "fig8", "fig10", "fig11",
+                                 "fig13", "fig15"])
+    figure.add_argument("--quick", action="store_true",
+                        help="shorter sessions (coarser statistics)")
+
+    survey = sub.add_parser("survey",
+                            help="commercial-cell population survey")
+    survey.add_argument("--seconds", type=float, default=600.0)
+    survey.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_sniff(args: argparse.Namespace) -> int:
+    profile = ALL_PROFILES[args.profile]
+    sim = Simulation.build(profile, n_ues=args.ues, seed=args.seed,
+                           traffic=args.traffic, channel=args.channel,
+                           fidelity=args.fidelity)
+    scope = NRScope.attach(sim, snr_db=args.snr_db)
+    sim.run(seconds=args.seconds)
+
+    print(f"cell {profile.name}: band {profile.band}, "
+          f"{profile.n_prb} PRB @ {profile.scs_khz} kHz, "
+          f"{'TDD' if profile.is_tdd else 'FDD'}")
+    print(f"observed {scope.counters.slots_observed} slots, decoded "
+          f"{scope.counters.dcis_decoded} DCIs, "
+          f"{scope.counters.msg4_seen} UEs via RACH "
+          f"({scope.counters.msg4_missed} missed)")
+    now = sim.now_s
+    for rnti in scope.tracked_rntis:
+        bits = scope.telemetry.bits_between(rnti, 0.0, now)
+        retx = scope.telemetry.retransmission_ratio(rnti)
+        srs = scope.uci.scheduling_request_count(rnti)
+        cqi = scope.uci.latest_cqi(rnti)
+        print(f"  UE 0x{rnti:04x}: {bits / now / 1e6:7.2f} Mbps DL, "
+              f"retx {retx:6.2%}, CQI {cqi if cqi is not None else '-'}, "
+              f"{srs} SRs")
+    if args.report:
+        from repro.analysis.summary import build_session_report
+        print()
+        print(build_session_report(scope, args.seconds).render())
+    if args.json:
+        count = scope.telemetry.write_jsonl(args.json)
+        print(f"wrote {count} telemetry records to {args.json}")
+    return 0
+
+
+def cmd_cells(args: argparse.Namespace) -> int:
+    print(f"{'name':<14}{'band':<6}{'duplex':<8}{'SCS':<6}{'BW MHz':<8}"
+          f"{'PRB':<5}{'BWP':<4}{'MCS table'}")
+    for name in sorted(ALL_PROFILES):
+        p = ALL_PROFILES[name]
+        print(f"{p.name:<14}{p.band:<6}"
+              f"{'TDD' if p.is_tdd else 'FDD':<8}"
+              f"{p.scs_khz:<6}{p.bandwidth_hz / 1e6:<8.0f}"
+              f"{p.n_prb:<5}{p.bwp_id:<4}{p.mcs_table}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    quick = 1.0 if args.quick else 4.0
+    if args.name == "fig7":
+        from repro.experiments import fig07_dci_miss as fig7
+        srsran, amarisoft = fig7.run(duration_s=quick)
+        print_tables([fig7.table(srsran, "Fig 7a - srsRAN"),
+                      fig7.table(amarisoft, "Fig 7b - Amarisoft")])
+    elif args.name == "fig8":
+        from repro.experiments import fig08_reg_error as fig8
+        srsran, amarisoft = fig8.run(duration_s=quick)
+        print_tables([fig8.table(srsran, "Fig 8a - srsRAN"),
+                      fig8.table(amarisoft, "Fig 8b - Amarisoft")])
+    elif args.name == "fig10":
+        from repro.experiments import fig10_active_time as fig10
+        print_tables([fig10.table(fig10.run())])
+    elif args.name == "fig11":
+        from repro.experiments import fig11_ue_counts as fig11
+        print_tables([fig11.table(fig11.run())])
+    elif args.name == "fig13":
+        from repro.experiments import fig13_coverage as fig13
+        print_tables([fig13.table(
+            fig13.run(duration_s=max(quick / 4, 0.5)))])
+    elif args.name == "fig15":
+        from repro.experiments import fig15_mcs_retx as fig15
+        print_tables([fig15.table(
+            fig15.run(n_ues=8, duration_s=max(quick / 2, 1.0)))])
+    else:  # pragma: no cover - argparse restricts choices
+        raise CliError(f"unknown figure: {args.name}")
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.ue.population import ComeAndGoProcess, \
+        TMOBILE_CELL1_PROFILES, active_counts
+
+    profile = TMOBILE_CELL1_PROFILES["afternoon"]
+    sessions = ComeAndGoProcess(profile, seed=args.seed) \
+        .generate(args.seconds)
+    holdings = np.array([s.holding_s for s in sessions])
+    per_minute = active_counts(sessions, args.seconds, 60.0)
+    print(f"window: {args.seconds:.0f} s, distinct UEs: {len(sessions)}")
+    print(f"holding time: median {np.median(holdings):.1f} s, "
+          f"p90 {np.percentile(holdings, 90):.1f} s")
+    print(f"active per minute: median {np.median(per_minute):.0f}, "
+          f"max {per_minute.max()}")
+    return 0
+
+
+_COMMANDS = {"sniff": cmd_sniff, "cells": cmd_cells,
+             "figure": cmd_figure, "survey": cmd_survey}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

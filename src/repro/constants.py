@@ -1,0 +1,61 @@
+"""Numerology and 3GPP constants shared across the library.
+
+Values follow TS 38.211/38.212/38.214 unless noted. Only constants that
+more than one subpackage needs live here; table data specific to one
+module (MCS tables, TBS table) stays next to its user.
+"""
+
+from __future__ import annotations
+
+#: Subcarriers per physical resource block (38.211 section 4.4.4.1).
+N_SC_PER_PRB = 12
+
+#: OFDM symbols per slot with normal cyclic prefix (38.211 section 4.3.2).
+N_SYMBOLS_PER_SLOT = 14
+
+#: System frame duration in seconds; frame numbers run 0..1023.
+FRAME_DURATION_S = 10e-3
+
+#: Number of subframes (1 ms each) per system frame.
+N_SUBFRAMES_PER_FRAME = 10
+
+#: System frame number wraps at this value (38.211 section 4.3.1).
+SFN_MODULO = 1024
+
+#: Resource elements per REG: one PRB wide, one OFDM symbol long.
+N_RE_PER_REG = N_SC_PER_PRB
+
+#: REGs per control channel element (38.211 section 7.3.2.2).
+N_REG_PER_CCE = 6
+
+#: Maximum number of HARQ processes per UE (38.321 section 5.4.1).
+N_HARQ_PROCESSES = 16
+
+#: PDCCH aggregation levels defined by 38.213 Table 10.1-1.
+AGGREGATION_LEVELS = (1, 2, 4, 8, 16)
+
+#: CRC length appended to DCI payloads (38.212 section 7.3.2).
+DCI_CRC_LEN = 24
+
+#: RNTI value space: 16-bit identifiers (38.321 Table 7.1-1).
+RNTI_BITS = 16
+MAX_RNTI = (1 << RNTI_BITS) - 1
+
+#: Reserved RNTIs (38.321 Table 7.1-1): SI-RNTI is fixed, others configured.
+SI_RNTI = 0xFFFF
+P_RNTI = 0xFFFE
+#: First value of the range usable for C-RNTI / TC-RNTI assignment.
+FIRST_C_RNTI = 0x0001
+LAST_C_RNTI = 0xFFEF
+
+#: Subcarrier spacings (kHz) supported for data channels in FR1.
+SUPPORTED_SCS_KHZ = (15, 30, 60)
+
+#: Slots per subframe for each supported subcarrier spacing.
+SLOTS_PER_SUBFRAME = {15: 1, 30: 2, 60: 4}
+
+#: TTI (slot) duration in seconds for each supported subcarrier spacing.
+TTI_DURATION_S = {15: 1e-3, 30: 0.5e-3, 60: 0.25e-3}
+
+#: Maximum transport block size in bits (38.214, LDPC base graph 1 limit).
+MAX_TBS_BITS = 1277992

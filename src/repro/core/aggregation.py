@@ -1,0 +1,60 @@
+"""Packet aggregation analysis (paper Appendix D, Fig 16d).
+
+The RAN batches IP packets into transport blocks: one TTI can carry many
+packets that arrive at the UE "at nearly the same time", defeating
+inter-packet-gap bandwidth estimators.  NR-Scope measures the effect by
+dividing each TTI's TBS by the flow's packet size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AggregationError(ValueError):
+    """Raised for invalid aggregation parameters."""
+
+
+@dataclass(frozen=True)
+class AggregationSample:
+    """Packets-per-TTI estimate for one decoded transport block."""
+
+    time_s: float
+    rnti: int
+    tbs_bits: int
+    packets: float
+
+
+class PacketAggregationAnalyzer:
+    """Estimates packets per TTI from decoded TBS values."""
+
+    def __init__(self, packet_bytes: int = 1400) -> None:
+        if packet_bytes <= 0:
+            raise AggregationError(
+                f"packet size must be positive: {packet_bytes}")
+        self.packet_bytes = packet_bytes
+        self.samples: list[AggregationSample] = []
+
+    def observe(self, time_s: float, rnti: int, tbs_bits: int) -> float:
+        """Record one transport block; returns its packets-per-TTI."""
+        if tbs_bits < 0:
+            raise AggregationError(f"negative TBS: {tbs_bits}")
+        packets = tbs_bits / (self.packet_bytes * 8.0)
+        self.samples.append(AggregationSample(time_s=time_s, rnti=rnti,
+                                              tbs_bits=tbs_bits,
+                                              packets=packets))
+        return packets
+
+    def packets_per_tti(self, rnti: int | None = None) -> list[float]:
+        """All packets-per-TTI samples, optionally for one UE."""
+        return [s.packets for s in self.samples
+                if rnti is None or s.rnti == rnti]
+
+    def cdf(self, rnti: int | None = None) \
+            -> list[tuple[float, float]]:
+        """(packets, cumulative fraction) points — Fig 16d's axes."""
+        values = sorted(self.packets_per_tti(rnti))
+        n = len(values)
+        if n == 0:
+            return []
+        return [(v, (i + 1) / n) for i, v in enumerate(values)]

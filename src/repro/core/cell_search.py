@@ -1,0 +1,115 @@
+"""Cell search and common-parameter acquisition (paper section 3.1.1).
+
+NR-Scope's first job is to mimic a UE's cell discovery: decode the MIB
+for frame timing and the CORESET 0 pointer, follow it to SIB 1, and
+extract every common parameter later stages need — carrier width, SCS,
+TDD pattern, RACH configuration, PDCCH geometry.  The result is a
+:class:`CellKnowledge` that the RACH sniffer and DCI decoder read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.coreset import Coreset, SearchSpace
+from repro.phy.dci import DciSizeConfig
+from repro.phy.grant import GrantConfig
+from repro.rrc.messages import Mib, Sib1
+
+#: Broadcast channels survive to much lower SNR than the PDCCH thanks to
+#: heavy repetition; below this the sniffer cannot even find the cell.
+BROADCAST_SNR_FLOOR_DB = -6.0
+
+
+class CellSearchError(ValueError):
+    """Raised when acquisition is attempted out of order."""
+
+
+@dataclass
+class CellKnowledge:
+    """Everything NR-Scope has learned about the cell so far."""
+
+    sfn: int
+    scs_khz: int
+    n_prb: int | None = None
+    is_tdd: bool | None = None
+    sib1: Sib1 | None = None
+    coreset0: Coreset | None = None
+    bwp_id: int = 0
+
+    @property
+    def is_complete(self) -> bool:
+        """True once both MIB and SIB 1 have been decoded."""
+        return self.sib1 is not None
+
+    def dci_size_config(self) -> DciSizeConfig:
+        """DCI field widths implied by the acquired configuration."""
+        if self.n_prb is None:
+            raise CellSearchError("SIB 1 not yet acquired")
+        return DciSizeConfig(n_prb_bwp=self.n_prb,
+                             bwp_indicator_bits=1 if self.bwp_id else 0)
+
+    def common_search_space(self) -> SearchSpace:
+        """The type-0 common search space (SIB1 and MSG 4 DCIs)."""
+        if self.coreset0 is None:
+            raise CellSearchError("CORESET 0 not yet derived")
+        return SearchSpace(search_space_id=0, coreset=self.coreset0,
+                           is_common=True,
+                           candidates_per_level={4: 2, 8: 1})
+
+    def base_grant_config(self, mcs_table: str = "qam64",
+                          n_layers: int = 1) -> GrantConfig:
+        """A grant config for broadcast-style PDSCH translations."""
+        if self.n_prb is None:
+            raise CellSearchError("SIB 1 not yet acquired")
+        return GrantConfig(bwp_n_prb=self.n_prb, mcs_table=mcs_table,
+                           n_layers=n_layers)
+
+
+class CellSearcher:
+    """Consumes broadcast messages until the cell picture is complete."""
+
+    def __init__(self, sniffer_snr_db: float) -> None:
+        self.sniffer_snr_db = sniffer_snr_db
+        self.knowledge: CellKnowledge | None = None
+        self.mib_decodes = 0
+        self.sib1_decodes = 0
+
+    @property
+    def synchronized(self) -> bool:
+        """True once MIB+SIB1 are in hand and telemetry can start."""
+        return self.knowledge is not None and self.knowledge.is_complete
+
+    def _can_hear_broadcast(self) -> bool:
+        return self.sniffer_snr_db >= BROADCAST_SNR_FLOOR_DB
+
+    def on_mib(self, mib: Mib) -> bool:
+        """Process a MIB broadcast; returns True when it was decoded."""
+        if not self._can_hear_broadcast() or mib.cell_barred:
+            return False
+        self.mib_decodes += 1
+        if self.knowledge is None:
+            self.knowledge = CellKnowledge(sfn=mib.sfn,
+                                           scs_khz=mib.scs_common_khz)
+        else:
+            self.knowledge.sfn = mib.sfn
+        return True
+
+    def on_sib1(self, sib1: Sib1) -> bool:
+        """Process a SIB 1; returns True when the cell picture completed."""
+        if not self._can_hear_broadcast():
+            return False
+        if self.knowledge is None:
+            # SIB1 before any MIB: cannot have found CORESET 0 yet.
+            return False
+        self.sib1_decodes += 1
+        knowledge = self.knowledge
+        knowledge.sib1 = sib1
+        knowledge.n_prb = sib1.n_prb_carrier
+        knowledge.is_tdd = sib1.is_tdd
+        knowledge.bwp_id = sib1.initial_bwp_id
+        knowledge.coreset0 = Coreset(
+            coreset_id=0, first_prb=0, n_prb=sib1.pdcch_coreset_prbs,
+            n_symbols=sib1.pdcch_coreset_symbols, first_symbol=0,
+            interleaved=True)
+        return True

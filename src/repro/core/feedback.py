@@ -1,0 +1,95 @@
+"""The NR-Scope feedback service (paper sections 1 and 6).
+
+The point of the telemetry is to reach application servers "without
+involving the RAN": NR-Scope streams per-UE capacity/retransmission
+feedback directly to a sender, beating the end-to-end path by up to half
+an RTT.  This module is that delivery leg: subscribers register per
+RNTI, and each telemetry tick fans out a compact feedback message with a
+modelled one-way latency so transports can reason about staleness.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+
+class FeedbackError(ValueError):
+    """Raised for invalid subscriptions."""
+
+
+@dataclass(frozen=True)
+class FeedbackMessage:
+    """One update to an application server about one UE."""
+
+    sent_at_s: float
+    arrives_at_s: float
+    rnti: int
+    throughput_bps: float
+    spare_capacity_bps: float
+    mcs_index: int
+    retransmission_ratio: float
+
+    @property
+    def latency_s(self) -> float:
+        """One-way delivery latency of this message."""
+        return self.arrives_at_s - self.sent_at_s
+
+    def to_json(self) -> str:
+        """Wire rendering."""
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+
+Subscriber = Callable[[FeedbackMessage], None]
+
+
+class FeedbackService:
+    """Fans telemetry out to registered application servers.
+
+    ``uplink_latency_s`` models the sniffer-to-server sub-path; the
+    paper's argument is that this beats the RAN's downlink queueing
+    because the feedback never crosses the bottleneck.
+    """
+
+    def __init__(self, uplink_latency_s: float = 0.01) -> None:
+        if uplink_latency_s < 0:
+            raise FeedbackError("latency cannot be negative")
+        self.uplink_latency_s = uplink_latency_s
+        self._subscribers: dict[int, list[Subscriber]] = {}
+        self.messages_sent = 0
+
+    def subscribe(self, rnti: int, subscriber: Subscriber) -> None:
+        """Register a server interested in one UE's feedback."""
+        self._subscribers.setdefault(rnti, []).append(subscriber)
+
+    def unsubscribe(self, rnti: int) -> None:
+        """Drop all subscriptions for an RNTI."""
+        self._subscribers.pop(rnti, None)
+
+    @property
+    def subscribed_rntis(self) -> list[int]:
+        """RNTIs with at least one subscriber."""
+        return sorted(self._subscribers)
+
+    def publish(self, now_s: float, rnti: int, throughput_bps: float,
+                spare_capacity_bps: float, mcs_index: int,
+                retransmission_ratio: float) -> FeedbackMessage | None:
+        """Send one update to every subscriber of ``rnti``.
+
+        Returns the message, or None when nobody is listening (nothing
+        is built or sent, keeping the service zero-cost when unused).
+        """
+        subscribers = self._subscribers.get(rnti)
+        if not subscribers:
+            return None
+        message = FeedbackMessage(
+            sent_at_s=now_s,
+            arrives_at_s=now_s + self.uplink_latency_s,
+            rnti=rnti, throughput_bps=throughput_bps,
+            spare_capacity_bps=spare_capacity_bps, mcs_index=mcs_index,
+            retransmission_ratio=retransmission_ratio)
+        for subscriber in subscribers:
+            subscriber(message)
+        self.messages_sent += len(subscribers)
+        return message

@@ -1,0 +1,387 @@
+"""NR-Scope: the telemetry tool this repository reproduces.
+
+One :class:`NRScope` instance is the paper's Fig 4 box: it attaches to a
+simulated cell as a passive observer, finds the cell (MIB/SIB1), sniffs
+the RACH for C-RNTIs and UE configurations, decodes every tracked UE's
+DCIs each TTI, and feeds the telemetry consumers — throughput
+estimation, HARQ/retransmission tracking, spare-capacity computation and
+packet-aggregation analysis.
+
+Passivity is structural: the scope only reads :class:`SlotOutput`
+broadcasts, never the gNB's or UEs' internal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SI_RNTI
+from repro.core.aggregation import PacketAggregationAnalyzer
+from repro.core.cell_search import CellSearcher
+from repro.core.dci_decoder import DecodedDci, GridDciDecoder, \
+    RecordDciDecoder
+from repro.core.harq_tracker import HarqTrackerBank
+from repro.core.rach_sniffer import RachSniffer
+from repro.core.spare_capacity import SpareCapacityEstimator, TtiUsage
+from repro.core.decode_model import uci_decode_succeeds
+from repro.core.telemetry import TelemetryLog, TelemetryRecord
+from repro.core.throughput import ThroughputBank
+from repro.core.uci_telemetry import UciObservation, UciTelemetry
+from repro.phy.grant import dci_to_grant
+from repro.gnb.gnb import SlotOutput
+from repro.radio.medium import Link
+
+
+class ScopeError(ValueError):
+    """Raised for invalid scope configuration."""
+
+
+#: Probability the sniffer's one-off RRC Setup PDSCH decode succeeds at
+#: workable SNR; PDSCH decode of a 500-byte QPSK block is far more robust
+#: than a single-shot DCI, hence the high floor.
+_SETUP_DECODE_SNR_FLOOR_DB = -2.0
+
+
+@dataclass
+class ScopeCounters:
+    """Operational statistics of one telemetry session."""
+
+    slots_observed: int = 0
+    slots_synchronized: int = 0
+    dcis_decoded: int = 0
+    msg4_seen: int = 0
+    msg4_missed: int = 0
+
+    @property
+    def msg4_total(self) -> int:
+        return self.msg4_seen + self.msg4_missed
+
+
+class NRScope:
+    """The passive 5G SA telemetry tool."""
+
+    def __init__(self, link: Link, scs_khz: int = 30,
+                 fidelity: str = "message", seed: int = 0,
+                 window_s: float = 0.2, idle_timeout_s: float = 10.0,
+                 packet_bytes: int = 1400, cell_n_id: int = 0,
+                 always_decode_setup: bool = False,
+                 decode_uci: bool = True,
+                 uplink_snr_offset_db: float = 6.0,
+                 capture_impairments: bool = False,
+                 waveform_bootstrap: bool = False) -> None:
+        if fidelity not in ("message", "iq"):
+            raise ScopeError(f"unknown fidelity: {fidelity!r}")
+        self.link = link
+        self.scs_khz = scs_khz
+        self.fidelity = fidelity
+        self.cell_n_id = cell_n_id
+        self.idle_timeout_s = idle_timeout_s
+        self.always_decode_setup = always_decode_setup
+        self._rng = np.random.default_rng(seed)
+
+        self.searcher = CellSearcher(sniffer_snr_db=link.snr_db)
+        self.counters = ScopeCounters()
+        self.telemetry = TelemetryLog()
+        self.harq = HarqTrackerBank()
+        self.throughput = ThroughputBank(window_s=window_s)
+        self.aggregation = PacketAggregationAnalyzer(
+            packet_bytes=packet_bytes)
+        # UCI decoding (paper section 7 future work): PUCCH comes from
+        # the UE's much weaker transmitter, hence the SNR offset.
+        self.decode_uci = decode_uci
+        self.uplink_snr_offset_db = uplink_snr_offset_db
+        self.uci = UciTelemetry()
+        # Front-end impairments: a slowly drifting complex gain applied
+        # to every IQ capture (oscillator drift / AGC wobble).  The grid
+        # decoder then equalises from the DMRS pilots like a real
+        # receiver must.
+        self.capture_impairments = capture_impairments
+        self._capture_phase = 0.0
+        self._capture_amplitude = 1.0
+        # Waveform bootstrap: ignore message-layer MIBs and acquire the
+        # cell from the SSB samples (PSS/SSS correlation + PBCH decode).
+        self.waveform_bootstrap = waveform_bootstrap
+        self.acquisitions = 0
+
+        # Built once SIB 1 lands:
+        self.rach: RachSniffer | None = None
+        self.spare: SpareCapacityEstimator | None = None
+        self._record_decoder: RecordDciDecoder | None = None
+        self._grid_decoder: GridDciDecoder | None = None
+        self._usrp = None
+        self._slot_duration_s = {15: 1e-3, 30: 0.5e-3, 60: 0.25e-3} \
+            .get(scs_khz, 0.5e-3)
+
+    # ----------------------------------------------------- attachment
+    @classmethod
+    def attach(cls, sim, snr_db: float | None = None, position=None,
+               fidelity: str | None = None, **kwargs) -> "NRScope":
+        """Create a scope listening to a :class:`~repro.simulation.Simulation`.
+
+        The sniffer's link budget comes from the simulation's radio
+        medium (or an explicit ``snr_db``); fidelity defaults to the
+        gNB's mode so grids are only rendered when they will be used.
+        """
+        link = sim.sniffer_link(position=position, snr_db=snr_db)
+        scope = cls(link=link, scs_khz=sim.profile.scs_khz,
+                    fidelity=fidelity or sim.gnb.fidelity,
+                    cell_n_id=sim.profile.cell_id, **kwargs)
+        sim.add_observer(scope.observe_slot)
+        return scope
+
+    # ----------------------------------------------------- lifecycle
+    def _on_synchronized(self) -> None:
+        """SIB 1 landed: build the post-sync machinery."""
+        knowledge = self.searcher.knowledge
+        assert knowledge is not None and knowledge.n_prb is not None
+        self.rach = RachSniffer(bwp_n_prb=knowledge.n_prb)
+        self.spare = SpareCapacityEstimator(
+            grant_config=knowledge.base_grant_config(),
+            n_prb_carrier=knowledge.n_prb)
+        self._record_decoder = RecordDciDecoder(
+            sniffer_snr_db=self.link.snr_db,
+            seed=int(self._rng.integers(0, 2**31)))
+        self._grid_decoder = GridDciDecoder(
+            dci_cfg=knowledge.dci_size_config(), n_id=self.cell_n_id,
+            noise_var=self.link.noise_variance(),
+            equalize=self.capture_impairments)
+
+    @property
+    def tracked_rntis(self) -> list[int]:
+        """RNTIs currently under telemetry."""
+        if self.rach is None:
+            return []
+        return sorted(self.rach.tracked)
+
+    # ------------------------------------------------------- RACH path
+    def _setup_decode_succeeds(self, body=None, rnti: int = 0) -> bool:
+        """The one-off RRC Setup PDSCH decode.
+
+        In iq fidelity the Setup body really rides the coded PDSCH
+        chain (CRC24A + segmented polar + scrambling + QPSK) through
+        the sniffer's noisy capture; in message fidelity a calibrated
+        roll stands in (the chain decodes reliably above ~0 dB).
+        """
+        if self.link.snr_db < _SETUP_DECODE_SNR_FLOOR_DB:
+            return False
+        if self.fidelity == "iq" and body is not None:
+            from repro.phy.pdsch import decode_pdsch_transport_block, \
+                encode_pdsch_transport_block
+            payload = body.encode()
+            symbols = encode_pdsch_transport_block(payload, rnti,
+                                                   self.cell_n_id)
+            noise_var = self.link.noise_variance()
+            scale = np.sqrt(noise_var / 2.0)
+            noisy = symbols \
+                + self._rng.normal(0, scale, symbols.size) \
+                + 1j * self._rng.normal(0, scale, symbols.size)
+            decoded = decode_pdsch_transport_block(
+                noisy, payload.size, rnti, self.cell_n_id, noise_var)
+            return decoded is not None \
+                and bool(np.array_equal(decoded, payload))
+        return bool(self._rng.random() < 0.995)
+
+    def _handle_msg4_decode(self, rnti: int, output: SlotOutput,
+                            decoded: bool) -> None:
+        assert self.rach is not None
+        if self.rach.is_tracked(rnti) or \
+                rnti in self.rach.missed_rach_rntis:
+            return
+        if not decoded:
+            self.rach.miss(rnti)
+            self.counters.msg4_missed += 1
+            return
+        setup = None
+        needs_setup = self.rach.cached_setup is None \
+            or self.always_decode_setup
+        if needs_setup:
+            body = next((m.rrc_setup for m in output.msg4_records
+                         if m.tc_rnti == rnti), None)
+            if body is None or not self._setup_decode_succeeds(body,
+                                                               rnti):
+                self.rach.miss(rnti)
+                self.counters.msg4_missed += 1
+                return
+            setup = body
+        self.rach.discover(rnti, output.slot.time_s, setup)
+        self.counters.msg4_seen += 1
+
+    def _sniff_rach_message_mode(self, output: SlotOutput) -> None:
+        assert self._record_decoder is not None
+        for record, ok in self._record_decoder.decode_common(
+                output.dci_records):
+            if record.rnti == SI_RNTI:
+                continue
+            self._handle_msg4_decode(record.rnti, output, ok)
+
+    def _sniff_rach_iq_mode(self, grid, output: SlotOutput) -> None:
+        assert self._grid_decoder is not None
+        knowledge = self.searcher.knowledge
+        assert knowledge is not None
+        decoded_rntis = set()
+        for item in self._grid_decoder.blind_decode_common(
+                grid, output.slot.index, knowledge.common_search_space()):
+            if item.dci.rnti == SI_RNTI:
+                continue
+            decoded_rntis.add(item.dci.rnti)
+            self._handle_msg4_decode(item.dci.rnti, output, decoded=True)
+        # MSG 4s transmitted this slot but not blind-decoded are missed
+        # forever (the sniffer of course cannot see this; we account it
+        # from ground truth for the counters only).
+        for record in output.msg4_records:
+            if record.tc_rnti not in decoded_rntis:
+                self._handle_msg4_decode(record.tc_rnti, output,
+                                         decoded=False)
+
+    # ------------------------------------------------------- DCI path
+    def _process_decoded(self, decoded: list[DecodedDci],
+                         output: SlotOutput) -> TtiUsage:
+        assert self.rach is not None
+        time_s = output.slot.time_s
+        slot_index = output.slot.index
+        per_ue_prbs: dict[int, int] = {}
+        per_ue_mcs: dict[int, int] = {}
+        used_prbs = 0
+        for item in decoded:
+            dci = item.dci
+            ue = self.rach.tracked.get(dci.rnti)
+            if ue is None:
+                continue
+            ue.touch(time_s)
+            ue.decoded_dcis += 1
+            grant = dci_to_grant(dci, ue.grant_config)
+            is_retx = self.harq.observe(dci.rnti, dci.harq_id, dci.ndi,
+                                        grant.downlink)
+            record = TelemetryRecord.from_decode(
+                slot_index=slot_index, time_s=time_s, dci=dci, grant=grant,
+                aggregation_level=item.aggregation_level,
+                is_retransmission=is_retx)
+            self.telemetry.add(record)
+            self.counters.dcis_decoded += 1
+            if not is_retx:
+                self.throughput.add(dci.rnti, grant.downlink, time_s,
+                                    grant.tbs_bits)
+                if grant.downlink:
+                    self.aggregation.observe(time_s, dci.rnti,
+                                             grant.tbs_bits)
+            if grant.downlink:
+                per_ue_prbs[dci.rnti] = per_ue_prbs.get(dci.rnti, 0) \
+                    + grant.n_prb
+                per_ue_mcs[dci.rnti] = grant.mcs.index
+                used_prbs += grant.n_prb
+        return TtiUsage(slot_index=slot_index, time_s=time_s,
+                        used_prbs=used_prbs, per_ue_prbs=per_ue_prbs,
+                        per_ue_mcs=per_ue_mcs)
+
+    # ------------------------------------------------------ main loop
+    def observe_slot(self, output: SlotOutput) -> None:
+        """Consume one slot of the air interface."""
+        self.counters.slots_observed += 1
+        if output.mib is not None:
+            if self.waveform_bootstrap:
+                mib = self._acquire_from_waveform(output)
+                if mib is not None:
+                    self.searcher.on_mib(mib)
+            else:
+                self.searcher.on_mib(output.mib)
+        if output.sib1 is not None:
+            was_synced = self.searcher.synchronized
+            self.searcher.on_sib1(output.sib1)
+            if self.searcher.synchronized and not was_synced:
+                self._on_synchronized()
+        if not self.searcher.synchronized:
+            return
+        if output.uci_records and self.decode_uci and \
+                self.rach is not None:
+            self._sniff_uci(output)
+        if not output.is_downlink:
+            return
+        self.counters.slots_synchronized += 1
+        assert self.rach is not None and self.spare is not None
+
+        if self.fidelity == "iq":
+            if output.grid is None:
+                return
+            grid = self._capture(output)
+            self._sniff_rach_iq_mode(grid, output)
+            assert self._grid_decoder is not None
+            decoded = self._grid_decoder.decode_slot(
+                grid, output.slot.index, self.rach.tracked)
+        else:
+            self._sniff_rach_message_mode(output)
+            assert self._record_decoder is not None
+            decoded = self._record_decoder.decode_slot(
+                output.dci_records, self.rach.tracked)
+
+        usage = self._process_decoded(decoded, output)
+        self.spare.observe_tti(usage, known_rntis=self.tracked_rntis)
+
+        # Age out idle RNTIs once a second.
+        if output.slot.index % int(1.0 / self._slot_duration_s) == 0:
+            for rnti in self.rach.prune_idle(output.slot.time_s,
+                                             self.idle_timeout_s):
+                self.harq.forget(rnti)
+                self.throughput.forget(rnti)
+                self.uci.forget(rnti)
+
+    def _sniff_uci(self, output: SlotOutput) -> None:
+        """Decode PUCCH reports of tracked UEs (message-level model;
+        the UL waveform is not rendered in either fidelity)."""
+        assert self.rach is not None
+        snr = self.link.snr_db - self.uplink_snr_offset_db
+        for record in output.uci_records:
+            if not self.rach.is_tracked(record.rnti):
+                continue
+            if not uci_decode_succeeds(snr, self._rng):
+                continue
+            report = record.report
+            self.uci.add(UciObservation(
+                slot_index=record.slot_index, time_s=record.time_s,
+                rnti=record.rnti, cqi=report.cqi,
+                scheduling_request=report.scheduling_request,
+                harq_ack=report.harq_ack))
+            tracked = self.rach.tracked.get(record.rnti)
+            if tracked is not None:
+                tracked.touch(record.time_s)
+
+    def _acquire_from_waveform(self, output: SlotOutput):
+        """PSS/SSS search + PBCH decode over the noisy SSB burst."""
+        if output.ssb_samples is None or output.mib is None:
+            return None
+        from repro.core.acquisition import acquire_cell
+        samples = np.asarray(output.ssb_samples, dtype=np.complex128)
+        noise_var = self.link.noise_variance()
+        scale = np.sqrt(noise_var / 2.0)
+        noisy = samples + self._rng.normal(0, scale, samples.size) \
+            + 1j * self._rng.normal(0, scale, samples.size)
+        result = acquire_cell(noisy, output.mib.encode().size,
+                              noise_var)
+        if result is None or result.cell_id != self.cell_n_id:
+            return None
+        self.acquisitions += 1
+        return result.mib
+
+    def _capture(self, output: SlotOutput):
+        """Noisy capture of the transmitted grid (the virtual USRP)."""
+        assert output.grid is not None
+        captured = output.grid.clone_with_noise(self.link.snr_db,
+                                                self._rng)
+        if self.capture_impairments:
+            # Random-walk phase (oscillator drift) and a mild amplitude
+            # wobble around the AGC set point.
+            self._capture_phase += float(self._rng.normal(0.0, 0.05))
+            self._capture_amplitude = float(np.clip(
+                self._capture_amplitude
+                + self._rng.normal(0.0, 0.01), 0.7, 1.4))
+            captured.data *= self._capture_amplitude \
+                * np.exp(1j * self._capture_phase)
+        return captured
+
+    # ------------------------------------------------------ reporting
+    def per_ue_throughput(self, now_s: float,
+                          downlink: bool = True) -> dict[int, float]:
+        """Current windowed bit-rate estimate per tracked UE."""
+        return {rnti: self.throughput.rate_bps(rnti, now_s, downlink)
+                for rnti in self.tracked_rntis}

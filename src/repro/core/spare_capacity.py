@@ -1,0 +1,122 @@
+"""Fair-share spare RAN capacity estimation (paper section 5.4.1).
+
+"In each TTI, we can split unused REs evenly across UEs and recalculate
+these REs to yield a fair-share spare capacity attributable to each UE."
+The estimator knows the carrier width from SIB 1, sums the PRBs of the
+DCIs it decoded in the TTI, splits the remainder evenly, and prices each
+UE's share at that UE's *own* current MCS — which is why two UEs with
+identical spare PRBs report different spare bit rates (Fig 14a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.grant import GrantConfig
+from repro.phy.mcs_tables import mcs_entry
+from repro.phy.tbs import transport_block_size
+
+
+class SpareCapacityError(ValueError):
+    """Raised for inconsistent TTI accounting."""
+
+
+@dataclass(frozen=True)
+class TtiUsage:
+    """One TTI's decoded allocation picture."""
+
+    slot_index: int
+    time_s: float
+    used_prbs: int
+    per_ue_prbs: dict[int, int]       # rnti -> PRBs this TTI
+    per_ue_mcs: dict[int, int]        # rnti -> MCS index this TTI
+
+
+@dataclass(frozen=True)
+class SpareShare:
+    """Fair-share spare capacity for one UE in one TTI."""
+
+    rnti: int
+    spare_prbs: int
+    spare_bits: int
+    used_prbs: int
+    used_bits: int
+
+
+class SpareCapacityEstimator:
+    """Turns per-TTI decoded grants into spare-capacity shares."""
+
+    def __init__(self, grant_config: GrantConfig, n_prb_carrier: int,
+                 n_symbols: int = 12) -> None:
+        if n_prb_carrier < 1:
+            raise SpareCapacityError(
+                f"carrier must have PRBs: {n_prb_carrier}")
+        self.grant_config = grant_config
+        self.n_prb_carrier = n_prb_carrier
+        self.n_symbols = n_symbols
+        self._last_mcs: dict[int, int] = {}
+        self.history: list[tuple[TtiUsage, list[SpareShare]]] = []
+
+    def _bits_for(self, n_prb: int, mcs_index: int) -> int:
+        if n_prb < 1:
+            return 0
+        mcs = mcs_entry(mcs_index, self.grant_config.mcs_table)
+        return transport_block_size(
+            n_prb, self.n_symbols, mcs,
+            n_layers=self.grant_config.n_layers,
+            n_dmrs_per_prb=self.grant_config.n_dmrs_per_prb,
+            n_oh_per_prb=self.grant_config.xoverhead_res).tbs_bits
+
+    def observe_tti(self, usage: TtiUsage,
+                    known_rntis: list[int] | None = None) \
+            -> list[SpareShare]:
+        """Compute the fair-share split for one TTI.
+
+        ``known_rntis`` widens the split to UEs that were idle this TTI
+        (they still own a fair share of the spare room); their MCS falls
+        back to the last one observed.
+        """
+        if usage.used_prbs > self.n_prb_carrier:
+            raise SpareCapacityError(
+                f"decoded {usage.used_prbs} PRBs on a {self.n_prb_carrier}"
+                f" PRB carrier")
+        self._last_mcs.update(usage.per_ue_mcs)
+        participants = sorted(set(usage.per_ue_prbs)
+                              | set(known_rntis or []))
+        shares: list[SpareShare] = []
+        spare_prbs_total = self.n_prb_carrier - usage.used_prbs
+        if participants:
+            per_ue_spare = spare_prbs_total // len(participants)
+            for rnti in participants:
+                mcs_index = usage.per_ue_mcs.get(
+                    rnti, self._last_mcs.get(rnti, 0))
+                used = usage.per_ue_prbs.get(rnti, 0)
+                used_bits = self._bits_for(used, mcs_index) if used else 0
+                spare_bits = self._bits_for(per_ue_spare, mcs_index)
+                shares.append(SpareShare(
+                    rnti=rnti, spare_prbs=per_ue_spare,
+                    spare_bits=spare_bits, used_prbs=used,
+                    used_bits=used_bits))
+        self.history.append((usage, shares))
+        return shares
+
+    def spare_rate_series(self, rnti: int, slot_duration_s: float) \
+            -> list[tuple[float, float]]:
+        """(time, spare bits/s) per TTI for one UE (Fig 14a's 'Spare')."""
+        series = []
+        for usage, shares in self.history:
+            for share in shares:
+                if share.rnti == rnti:
+                    series.append((usage.time_s,
+                                   share.spare_bits / slot_duration_s))
+        return series
+
+    def prb_series(self, rnti: int) -> list[tuple[int, int, int]]:
+        """(slot, used PRBs, spare share PRBs) per TTI (Fig 14b)."""
+        rows = []
+        for usage, shares in self.history:
+            for share in shares:
+                if share.rnti == rnti:
+                    rows.append((usage.slot_index, share.used_prbs,
+                                 share.spare_prbs))
+        return rows

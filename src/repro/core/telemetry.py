@@ -1,0 +1,165 @@
+"""Telemetry records and the stream NR-Scope emits (paper Fig 4's log).
+
+Every decoded DCI becomes one :class:`TelemetryRecord`.  The
+:class:`TelemetryLog` indexes them for the consumers the paper describes:
+per-UE throughput series, retransmission ratios, MCS distributions, and
+the raw stream an application server would subscribe to.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.phy.dci import Dci, DciFormat
+from repro.phy.grant import Grant
+
+
+class TelemetryError(ValueError):
+    """Raised for malformed telemetry operations."""
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One decoded DCI with its derived quantities."""
+
+    slot_index: int
+    time_s: float
+    rnti: int
+    downlink: bool
+    tbs_bits: int
+    n_prb: int
+    n_symbols: int
+    mcs_index: int
+    harq_id: int
+    ndi: int
+    rv: int
+    is_retransmission: bool
+    aggregation_level: int
+
+    @classmethod
+    def from_decode(cls, slot_index: int, time_s: float, dci: Dci,
+                    grant: Grant, aggregation_level: int,
+                    is_retransmission: bool) -> "TelemetryRecord":
+        """Build a record from a decoded DCI/grant pair."""
+        return cls(slot_index=slot_index, time_s=time_s, rnti=dci.rnti,
+                   downlink=dci.format is DciFormat.DL_1_1,
+                   tbs_bits=grant.tbs_bits, n_prb=grant.n_prb,
+                   n_symbols=grant.n_symbols, mcs_index=dci.mcs,
+                   harq_id=dci.harq_id, ndi=dci.ndi, rv=dci.rv,
+                   is_retransmission=is_retransmission,
+                   aggregation_level=aggregation_level)
+
+    @property
+    def n_regs(self) -> int:
+        """REGs this record's grant occupies."""
+        return self.n_prb * self.n_symbols
+
+    def to_json(self) -> str:
+        """One JSON line, the on-disk log format."""
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+
+class TelemetryLog:
+    """Indexed store of everything NR-Scope decoded in a session."""
+
+    def __init__(self) -> None:
+        self._records: list[TelemetryRecord] = []
+        self._by_rnti: dict[int, list[TelemetryRecord]] = {}
+
+    def add(self, record: TelemetryRecord) -> None:
+        """Append one decode."""
+        self._records.append(record)
+        self._by_rnti.setdefault(record.rnti, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> list[TelemetryRecord]:
+        """All records in decode order."""
+        return list(self._records)
+
+    def for_rnti(self, rnti: int, downlink: bool | None = None) \
+            -> list[TelemetryRecord]:
+        """Records for one UE, optionally filtered by direction."""
+        records = self._by_rnti.get(rnti, [])
+        if downlink is None:
+            return list(records)
+        return [r for r in records if r.downlink == downlink]
+
+    def rntis(self) -> list[int]:
+        """Every RNTI seen in the session."""
+        return sorted(self._by_rnti)
+
+    def bits_between(self, rnti: int, start_s: float, end_s: float,
+                     downlink: bool = True,
+                     count_retransmissions: bool = False) -> int:
+        """New-data bits scheduled for a UE in a window.
+
+        Retransmissions are excluded by default: their bits were already
+        counted when the HARQ process first carried them, which is what
+        makes the estimate comparable to tcpdump's delivered bytes.
+        """
+        total = 0
+        for record in self._by_rnti.get(rnti, []):
+            if record.downlink != downlink:
+                continue
+            if not start_s <= record.time_s < end_s:
+                continue
+            if record.is_retransmission and not count_retransmissions:
+                continue
+            total += record.tbs_bits
+        return total
+
+    def bitrate_series(self, rnti: int, window_s: float, end_time_s: float,
+                       downlink: bool = True) -> list[tuple[float, float]]:
+        """(window end, bits/s) estimates — the paper Fig 14 time series."""
+        if window_s <= 0:
+            raise TelemetryError(f"window must be positive: {window_s}")
+        series = []
+        t = window_s
+        while t <= end_time_s + 1e-9:
+            bits = self.bits_between(rnti, t - window_s, t, downlink)
+            series.append((t, bits / window_s))
+            t += window_s
+        return series
+
+    def mcs_distribution(self, rnti: int | None = None,
+                         downlink: bool = True) -> list[int]:
+        """MCS indices of decoded (new-data) DCIs (paper Fig 15 left)."""
+        records = self._records if rnti is None \
+            else self._by_rnti.get(rnti, [])
+        return [r.mcs_index for r in records
+                if r.downlink == downlink and not r.is_retransmission]
+
+    def retransmission_ratio(self, rnti: int | None = None,
+                             downlink: bool = True) -> float:
+        """Fraction of decoded DCIs that were retransmissions (Fig 15)."""
+        records = self._records if rnti is None \
+            else self._by_rnti.get(rnti, [])
+        relevant = [r for r in records if r.downlink == downlink]
+        if not relevant:
+            return 0.0
+        return sum(r.is_retransmission for r in relevant) / len(relevant)
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Dump the session to a JSON-lines file; returns the line count."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(record.to_json() + "\n")
+        return len(self._records)
+
+    @classmethod
+    def read_jsonl(cls, path: str | Path) -> "TelemetryLog":
+        """Reload a session written by :meth:`write_jsonl`."""
+        log = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                log.add(TelemetryRecord(**json.loads(line)))
+        return log

@@ -1,0 +1,95 @@
+"""Sliding-window per-UE throughput estimation (paper section 3.2.2).
+
+"We record the TBS for every UE in each TTI, maintaining a sliding
+window to calculate the bit rate for each UE."  The estimator here is
+that window: TBS samples enter time-stamped, old samples fall off, and
+the rate is total bits over the window span.  Retransmissions are
+excluded through the HARQ tracker's verdict so a block's bits count
+exactly once, which is what makes the estimate comparable to the bytes
+tcpdump sees on the phone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+class ThroughputError(ValueError):
+    """Raised for invalid estimator parameters."""
+
+
+@dataclass(frozen=True)
+class TbsSample:
+    """One TTI's transport block for one UE."""
+
+    time_s: float
+    tbs_bits: int
+
+
+class SlidingWindowEstimator:
+    """Bit-rate estimate over a trailing time window."""
+
+    def __init__(self, window_s: float = 0.2) -> None:
+        if window_s <= 0:
+            raise ThroughputError(f"window must be positive: {window_s}")
+        self.window_s = window_s
+        self._samples: deque[TbsSample] = deque()
+        self._sum_bits = 0
+        self.total_bits = 0
+
+    def add(self, time_s: float, tbs_bits: int) -> None:
+        """Record a new-data transport block."""
+        if tbs_bits < 0:
+            raise ThroughputError(f"negative TBS: {tbs_bits}")
+        self._samples.append(TbsSample(time_s, tbs_bits))
+        self._sum_bits += tbs_bits
+        self.total_bits += tbs_bits
+        self._evict(time_s)
+
+    def _evict(self, now_s: float) -> None:
+        cutoff = now_s - self.window_s
+        while self._samples and self._samples[0].time_s <= cutoff:
+            self._sum_bits -= self._samples.popleft().tbs_bits
+
+    def rate_bps(self, now_s: float) -> float:
+        """Current estimate: window bits over window duration."""
+        self._evict(now_s)
+        return self._sum_bits / self.window_s
+
+    def average_rate_bps(self, elapsed_s: float) -> float:
+        """Whole-session average (used for headline error numbers)."""
+        if elapsed_s <= 0:
+            raise ThroughputError(f"elapsed must be positive: {elapsed_s}")
+        return self.total_bits / elapsed_s
+
+
+class ThroughputBank:
+    """One estimator per (RNTI, direction)."""
+
+    def __init__(self, window_s: float = 0.2) -> None:
+        self.window_s = window_s
+        self._estimators: dict[tuple[int, bool], SlidingWindowEstimator] = {}
+
+    def estimator(self, rnti: int,
+                  downlink: bool = True) -> SlidingWindowEstimator:
+        """The (lazily created) estimator for one UE/direction."""
+        key = (rnti, downlink)
+        if key not in self._estimators:
+            self._estimators[key] = SlidingWindowEstimator(self.window_s)
+        return self._estimators[key]
+
+    def add(self, rnti: int, downlink: bool, time_s: float,
+            tbs_bits: int) -> None:
+        """Record one transport block."""
+        self.estimator(rnti, downlink).add(time_s, tbs_bits)
+
+    def rate_bps(self, rnti: int, now_s: float,
+                 downlink: bool = True) -> float:
+        """Current rate estimate for one UE."""
+        return self.estimator(rnti, downlink).rate_bps(now_s)
+
+    def forget(self, rnti: int) -> None:
+        """Drop estimators for a departed UE."""
+        for key in [k for k in self._estimators if k[0] == rnti]:
+            del self._estimators[key]

@@ -1,0 +1,84 @@
+"""Sniffer-side UCI telemetry (the paper's section 7 future work).
+
+Decoding the uplink control channel gives NR-Scope the UE-side view the
+DCI stream lacks: scheduling requests (demand before any grant exists)
+and the CQI reports that drive the gNB's link adaptation.  This module
+stores decoded reports and answers the queries an uplink-scheduling
+analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class UciTelemetryError(ValueError):
+    """Raised for malformed queries."""
+
+
+@dataclass(frozen=True)
+class UciObservation:
+    """One decoded PUCCH report."""
+
+    slot_index: int
+    time_s: float
+    rnti: int
+    cqi: int | None
+    scheduling_request: bool
+    harq_ack: tuple[int, ...]
+
+
+class UciTelemetry:
+    """Indexed store of decoded uplink control information."""
+
+    def __init__(self) -> None:
+        self._observations: list[UciObservation] = []
+        self._by_rnti: dict[int, list[UciObservation]] = {}
+
+    def add(self, observation: UciObservation) -> None:
+        """Record one decoded report."""
+        self._observations.append(observation)
+        self._by_rnti.setdefault(observation.rnti, []) \
+            .append(observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def for_rnti(self, rnti: int) -> list[UciObservation]:
+        """All reports from one UE, oldest first."""
+        return list(self._by_rnti.get(rnti, []))
+
+    def rntis(self) -> list[int]:
+        """Every UE heard on the PUCCH."""
+        return sorted(self._by_rnti)
+
+    def cqi_series(self, rnti: int) -> list[tuple[float, int]]:
+        """(time, CQI) reports — the UE's own channel-quality story."""
+        return [(o.time_s, o.cqi) for o in self._by_rnti.get(rnti, [])
+                if o.cqi is not None]
+
+    def latest_cqi(self, rnti: int) -> int | None:
+        """Most recent CQI report, or None."""
+        series = self.cqi_series(rnti)
+        return series[-1][1] if series else None
+
+    def scheduling_request_count(self, rnti: int) -> int:
+        """How often this UE raised its hand for an uplink grant."""
+        return sum(o.scheduling_request
+                   for o in self._by_rnti.get(rnti, []))
+
+    def nack_ratio(self, rnti: int) -> float:
+        """Fraction of reported HARQ-ACK bits that were NACKs.
+
+        The UE-side complement of the NDI-based retransmission
+        tracking: both should tell the same story.
+        """
+        acks = [bit for o in self._by_rnti.get(rnti, [])
+                for bit in o.harq_ack]
+        if not acks:
+            return 0.0
+        return 1.0 - sum(acks) / len(acks)
+
+    def forget(self, rnti: int) -> None:
+        """Drop reports for a departed UE."""
+        self._by_rnti.pop(rnti, None)

@@ -1,0 +1,12 @@
+"""One module per evaluation figure of the paper (section 5).
+
+Each module exposes ``run(...)`` returning structured results,
+``to_result`` condensing them into a :class:`FigureResult` and
+``table(...)`` producing the printable form; ``benchmarks/`` wires them
+into the pytest-benchmark harness.
+"""
+
+from repro.experiments.common import FigureResult, SessionResult, \
+    run_session
+
+__all__ = ["FigureResult", "SessionResult", "run_session"]

@@ -1,0 +1,141 @@
+"""Extension experiment: uplink scheduling analysis via UCI.
+
+The paper's section 7 names UCI decoding as future work precisely for
+this: "scheduling request and Channel Quality Indicator ... could be
+useful for uplink data scheduling analysis".  With UCI decoding
+implemented, this experiment measures the RAN's uplink control-plane
+latency — the delay from a UE raising a scheduling request on the PUCCH
+to the gNB's UL grant appearing on the PDCCH — entirely from sniffed
+telemetry, and validates it against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import cdf_points
+from repro.analysis.report import Table
+from repro.experiments.common import FigureResult, run_session
+from repro.gnb.cell_config import SRSRAN_PROFILE
+
+
+@dataclass(frozen=True)
+class SrGrantSample:
+    """One matched (scheduling request -> uplink grant) pair."""
+
+    rnti: int
+    sr_time_s: float
+    grant_time_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.grant_time_s - self.sr_time_s
+
+
+@dataclass
+class UplinkAnalysis:
+    """Sniffer-side and ground-truth SR-to-grant measurements."""
+
+    sniffed: list[SrGrantSample]
+    truth: list[SrGrantSample]
+
+    def sniffed_latencies_ms(self) -> list[float]:
+        return [1e3 * s.latency_s for s in self.sniffed]
+
+    def truth_latencies_ms(self) -> list[float]:
+        return [1e3 * s.latency_s for s in self.truth]
+
+    def latency_cdf(self) -> list[tuple[float, float]]:
+        return cdf_points(self.sniffed_latencies_ms())
+
+
+def _match_sr_to_grants(sr_times: dict[int, list[float]],
+                        grant_times: dict[int, list[float]],
+                        max_latency_s: float) -> list[SrGrantSample]:
+    """Pair each SR with the first later UL grant for the same RNTI."""
+    samples = []
+    for rnti, srs in sr_times.items():
+        grants = sorted(grant_times.get(rnti, []))
+        cursor = 0
+        for sr in sorted(srs):
+            while cursor < len(grants) and grants[cursor] < sr:
+                cursor += 1
+            if cursor >= len(grants):
+                break
+            latency = grants[cursor] - sr
+            if latency <= max_latency_s:
+                samples.append(SrGrantSample(rnti=rnti, sr_time_s=sr,
+                                             grant_time_s=grants[cursor]))
+            cursor += 1
+    return samples
+
+
+def run(n_ues: int = 4, duration_s: float = 4.0, seed: int = 19,
+        max_latency_s: float = 0.25) -> UplinkAnalysis:
+    """One bursty-uplink session, analysed from both vantage points."""
+    result = run_session(SRSRAN_PROFILE, n_ues=n_ues,
+                         duration_s=duration_s, seed=seed,
+                         traffic="onoff", channel="pedestrian",
+                         rate_bps=1.5e6)
+    scope = result.scope
+
+    # Sniffer view: SRs from decoded UCI, grants from decoded UL DCIs.
+    sniffed_srs: dict[int, list[float]] = {}
+    for rnti in scope.uci.rntis():
+        sniffed_srs[rnti] = [o.time_s for o in scope.uci.for_rnti(rnti)
+                             if o.scheduling_request]
+    sniffed_grants: dict[int, list[float]] = {}
+    for record in scope.telemetry.records:
+        if not record.downlink:
+            sniffed_grants.setdefault(record.rnti, []) \
+                .append(record.time_s)
+
+    # Ground truth: every SR actually transmitted (the gNB's UCI log)
+    # against every UL grant in the gNB's DCI log.
+    truth_srs: dict[int, list[float]] = {}
+    for record in result.gnb_log.uci_records:
+        if record.report.scheduling_request:
+            truth_srs.setdefault(record.rnti, []).append(record.time_s)
+    truth_grants: dict[int, list[float]] = {}
+    for record in result.gnb_log.uplink_records():
+        truth_grants.setdefault(record.rnti, []).append(record.time_s)
+
+    sniffed = _match_sr_to_grants(sniffed_srs, sniffed_grants,
+                                  max_latency_s)
+    truth = _match_sr_to_grants(truth_srs, truth_grants,
+                                max_latency_s)
+    return UplinkAnalysis(sniffed=sniffed, truth=truth)
+
+
+def to_result(analysis: UplinkAnalysis) -> FigureResult:
+    result = FigureResult(figure="ext-uplink")
+    latencies = analysis.sniffed_latencies_ms()
+    if latencies:
+        result.add_series("sr-to-grant-cdf", analysis.latency_cdf())
+        result.summary["n_pairs"] = float(len(latencies))
+        result.summary["median_ms"] = float(np.median(latencies))
+        result.summary["p95_ms"] = float(np.percentile(latencies, 95))
+    truth = analysis.truth_latencies_ms()
+    if truth:
+        result.summary["truth_median_ms"] = float(np.median(truth))
+    return result
+
+
+def table(analysis: UplinkAnalysis) -> Table:
+    latencies = analysis.sniffed_latencies_ms()
+    rows = []
+    if latencies:
+        arr = np.asarray(latencies)
+        rows.append(("sniffed", len(latencies), float(np.median(arr)),
+                     float(np.percentile(arr, 95))))
+    truth = analysis.truth_latencies_ms()
+    if truth:
+        arr = np.asarray(truth)
+        rows.append(("ground truth", len(truth), float(np.median(arr)),
+                     float(np.percentile(arr, 95))))
+    return Table(
+        title="EXT - SR-to-grant latency (uplink scheduling analysis)",
+        columns=("view", "pairs", "median ms", "p95 ms"),
+        rows=tuple(rows))

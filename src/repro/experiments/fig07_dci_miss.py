@@ -1,0 +1,94 @@
+"""Fig 7: DCI miss rate vs number of UEs (paper section 5.2.1).
+
+Fig 7a: srsRAN network, 1-4 phones.  Fig 7b: Amarisoft network, 8-64
+emulated UEs.  Both report downlink and uplink DCI miss rates; the paper
+measures 0.33%/0.28% (srsRAN) and 0.93%/0.31% (Amarisoft) — "two 9's of
+reliability".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.matching import match_dcis
+from repro.analysis.report import Table
+from repro.experiments.common import FigureResult, run_session
+from repro.gnb.cell_config import AMARISOFT_PROFILE, SRSRAN_PROFILE
+
+#: UE counts per subfigure, matching the paper's x axes.
+SRSRAN_UE_COUNTS = (1, 2, 3, 4)
+AMARISOFT_UE_COUNTS = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class MissRateRow:
+    """One bar of Fig 7."""
+
+    network: str
+    n_ues: int
+    dl_miss_rate: float
+    ul_miss_rate: float
+    n_dl_dcis: int
+    n_ul_dcis: int
+
+
+def measure_miss_rates(profile, n_ues: int, duration_s: float,
+                       seed: int) -> MissRateRow:
+    """Run one session and match both directions against the log."""
+    result = run_session(profile, n_ues=n_ues, duration_s=duration_s,
+                         seed=seed, channel="pedestrian")
+    estimates = result.telemetry.records
+    dl = match_dcis(result.ue_truth_records(downlink=True), estimates,
+                    downlink=True)
+    ul = match_dcis(result.ue_truth_records(downlink=False), estimates,
+                    downlink=False)
+    return MissRateRow(network=profile.name, n_ues=n_ues,
+                       dl_miss_rate=dl.miss_rate, ul_miss_rate=ul.miss_rate,
+                       n_dl_dcis=dl.n_ground_truth,
+                       n_ul_dcis=ul.n_ground_truth)
+
+
+def run(duration_s: float = 4.0, seed: int = 7) \
+        -> tuple[list[MissRateRow], list[MissRateRow]]:
+    """Both subfigures: (srsRAN rows, Amarisoft rows)."""
+    srsran = [measure_miss_rates(SRSRAN_PROFILE, n, duration_s, seed + n)
+              for n in SRSRAN_UE_COUNTS]
+    amarisoft = [measure_miss_rates(AMARISOFT_PROFILE, n,
+                                    max(duration_s / 2, 1.0), seed + n)
+                 for n in AMARISOFT_UE_COUNTS]
+    return srsran, amarisoft
+
+
+def to_result(srsran: list[MissRateRow],
+              amarisoft: list[MissRateRow]) -> FigureResult:
+    """Summarise both subfigures with the paper's headline averages."""
+    result = FigureResult(figure="fig7")
+    result.add_series("srsran-dl",
+                      [(float(r.n_ues), 100 * r.dl_miss_rate)
+                       for r in srsran])
+    result.add_series("srsran-ul",
+                      [(float(r.n_ues), 100 * r.ul_miss_rate)
+                       for r in srsran])
+    result.add_series("amarisoft-dl",
+                      [(float(r.n_ues), 100 * r.dl_miss_rate)
+                       for r in amarisoft])
+    result.add_series("amarisoft-ul",
+                      [(float(r.n_ues), 100 * r.ul_miss_rate)
+                       for r in amarisoft])
+    for name, rows in (("srsran", srsran), ("amarisoft", amarisoft)):
+        dl_total = sum(r.n_dl_dcis for r in rows)
+        dl_missed = sum(r.dl_miss_rate * r.n_dl_dcis for r in rows)
+        ul_total = sum(r.n_ul_dcis for r in rows)
+        ul_missed = sum(r.ul_miss_rate * r.n_ul_dcis for r in rows)
+        result.summary[f"{name}_dl_pct"] = 100 * dl_missed / max(dl_total, 1)
+        result.summary[f"{name}_ul_pct"] = 100 * ul_missed / max(ul_total, 1)
+    return result
+
+
+def table(rows: list[MissRateRow], title: str) -> Table:
+    """The printed form of one subfigure."""
+    return Table(
+        title=title,
+        columns=("UEs", "DL miss %", "UL miss %", "DL DCIs", "UL DCIs"),
+        rows=tuple((r.n_ues, 100 * r.dl_miss_rate, 100 * r.ul_miss_rate,
+                    r.n_dl_dcis, r.n_ul_dcis) for r in rows))

@@ -1,0 +1,95 @@
+"""Fig 10: UE active time in commercial cells (paper section 5.3.1).
+
+Ten-minute captures of both T-Mobile cells at three times of day show a
+come-and-go pattern: 400-600 distinct UEs in cell 1 (100-200 in cell 2)
+and 90% of UEs staying under 35 seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.experiments.common import FigureResult
+from repro.ue.population import ComeAndGoProcess, Session, \
+    TMOBILE_CELL1_PROFILES, TMOBILE_CELL2_PROFILES, holding_time_ccdf
+
+#: One paper observation window.
+DURATION_S = 600.0
+
+#: Repetitions per time of day (the paper uses three).
+REPETITIONS = 3
+
+
+@dataclass(frozen=True)
+class ActiveTimeSeries:
+    """One CCDF line of Fig 10 (cell x time of day)."""
+
+    cell: int
+    time_of_day: str
+    sessions: tuple[Session, ...]
+
+    @property
+    def distinct_ues(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def p90_holding_s(self) -> float:
+        return float(np.percentile([s.holding_s for s in self.sessions],
+                                   90))
+
+    def ccdf(self, grid: np.ndarray | None = None) \
+            -> list[tuple[float, float]]:
+        grid = grid if grid is not None else np.linspace(0, 400, 81)
+        probs = holding_time_ccdf(list(self.sessions), grid)
+        return list(zip(grid.tolist(), probs.tolist()))
+
+
+def run(duration_s: float = DURATION_S, repetitions: int = REPETITIONS,
+        seed: int = 12) -> list[ActiveTimeSeries]:
+    """All six lines: {morning, afternoon, night} x {cell 1, cell 2}."""
+    out = []
+    for cell, profiles in ((1, TMOBILE_CELL1_PROFILES),
+                           (2, TMOBILE_CELL2_PROFILES)):
+        for time_of_day, profile in profiles.items():
+            sessions: list[Session] = []
+            for rep in range(repetitions):
+                process = ComeAndGoProcess(profile,
+                                           seed=seed + cell * 100 + rep)
+                sessions.extend(process.generate(duration_s,
+                                                 first_ue_id=len(sessions)))
+            out.append(ActiveTimeSeries(cell=cell,
+                                        time_of_day=time_of_day,
+                                        sessions=tuple(sessions)))
+    return out
+
+
+def to_result(series: list[ActiveTimeSeries]) -> FigureResult:
+    result = FigureResult(figure="fig10")
+    for line in series:
+        result.add_series(f"{line.time_of_day} ({line.cell})",
+                          line.ccdf())
+    holdings = np.array([s.holding_s for line in series
+                         for s in line.sessions])
+    result.summary["p90_holding_s"] = float(np.percentile(holdings, 90))
+    result.summary["fraction_under_35s"] = float((holdings < 35.0).mean())
+    cell1 = [line.distinct_ues // REPETITIONS for line in series
+             if line.cell == 1]
+    cell2 = [line.distinct_ues // REPETITIONS for line in series
+             if line.cell == 2]
+    result.summary["cell1_distinct_min"] = float(min(cell1))
+    result.summary["cell1_distinct_max"] = float(max(cell1))
+    result.summary["cell2_distinct_min"] = float(min(cell2))
+    result.summary["cell2_distinct_max"] = float(max(cell2))
+    return result
+
+
+def table(series: list[ActiveTimeSeries]) -> Table:
+    return Table(
+        title="Fig 10 - UE active time in T-Mobile cells",
+        columns=("cell", "time", "distinct UEs / 10 min", "p90 hold s"),
+        rows=tuple((line.cell, line.time_of_day,
+                    line.distinct_ues // REPETITIONS, line.p90_holding_s)
+                   for line in series))

@@ -1,0 +1,78 @@
+"""Fig 11: active UEs per second and per minute (paper section 5.3.1).
+
+From the same commercial-cell captures as Fig 10: the CDF of how many
+UEs the gNB schedules within one second and within one minute — "less
+than 60 UE most of one minute period".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import cdf_points
+from repro.analysis.report import Table
+from repro.experiments.common import FigureResult
+from repro.ue.population import ComeAndGoProcess, TMOBILE_CELL1_PROFILES, \
+    TMOBILE_CELL2_PROFILES, active_counts
+
+
+@dataclass(frozen=True)
+class UeCountSeries:
+    """One CDF line of Fig 11 (cell x bin width)."""
+
+    cell: int
+    bin_s: float
+    counts: tuple[int, ...]
+
+    @property
+    def label(self) -> str:
+        unit = "1 Second" if self.bin_s == 1.0 else "1 Minute"
+        return f"Cell {self.cell}, {unit}"
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.counts))
+
+    def cdf(self) -> list[tuple[float, float]]:
+        return cdf_points([float(c) for c in self.counts])
+
+
+def run(duration_s: float = 600.0, seed: int = 13) -> list[UeCountSeries]:
+    """All four lines: {cell 1, cell 2} x {1 s, 1 min} bins."""
+    out = []
+    for cell, profiles in ((1, TMOBILE_CELL1_PROFILES),
+                           (2, TMOBILE_CELL2_PROFILES)):
+        process = ComeAndGoProcess(profiles["afternoon"],
+                                   seed=seed + cell)
+        sessions = process.generate(duration_s)
+        for bin_s in (1.0, 60.0):
+            counts = active_counts(sessions, duration_s, bin_s)
+            out.append(UeCountSeries(cell=cell, bin_s=bin_s,
+                                     counts=tuple(int(c)
+                                                  for c in counts)))
+    return out
+
+
+def to_result(series: list[UeCountSeries]) -> FigureResult:
+    result = FigureResult(figure="fig11")
+    for line in series:
+        result.add_series(line.label, line.cdf())
+    minute_counts = [c for line in series if line.bin_s == 60.0
+                     for c in line.counts]
+    result.summary["minute_p50"] = float(np.median(minute_counts))
+    result.summary["minute_max"] = float(max(minute_counts))
+    second_counts = [c for line in series if line.bin_s == 1.0
+                     for c in line.counts]
+    result.summary["second_p50"] = float(np.median(second_counts))
+    return result
+
+
+def table(series: list[UeCountSeries]) -> Table:
+    return Table(
+        title="Fig 11 - active UEs per second / minute",
+        columns=("series", "median", "p90", "max"),
+        rows=tuple((line.label, line.median,
+                    float(np.percentile(line.counts, 90)),
+                    max(line.counts)) for line in series))

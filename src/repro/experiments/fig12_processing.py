@@ -1,0 +1,167 @@
+"""Fig 12: per-slot processing time vs tracked UEs (paper section 5.3.2).
+
+The paper measures signal processing (FFT/demodulation, O(n log n) in
+the slot's samples) plus per-UE DCI decoding (O(m) in the UE count) with
+one or four DCI threads, on the Amarisoft cell (20 MHz) and a T-Mobile
+cell (10 MHz), and finds a linear trend in the UE count.
+
+This module measures the same quantities on the real decode pipeline:
+OFDM demodulation of one slot of IQ samples followed by the sharded
+candidate search of :func:`process_slot_task`.  The GIL limits what
+Python threads can win back (EXPERIMENTS.md discusses the deviation);
+the linear-in-m trend is the portable result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.dci_decoder import GridDciDecoder
+from repro.core.pipeline import SlotTask, process_slot_task
+from repro.core.rach_sniffer import RachSniffer
+from repro.experiments.common import ExperimentError, FigureResult
+from repro.gnb.cell_config import AMARISOFT_PROFILE, CellProfile, \
+    TMOBILE_N25_PROFILE
+from repro.analysis.report import Table
+from repro.phy.dci import Dci, DciFormat, riv_encode
+from repro.phy.ofdm import OfdmConfig, demodulate_slot, modulate_slot
+from repro.phy.pdcch import PdcchCandidate, encode_pdcch
+from repro.phy.resource_grid import ResourceGrid
+from repro.rrc.messages import RrcSetup
+
+UE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+THREAD_COUNTS = (1, 4)
+
+
+@dataclass
+class Workload:
+    """One slot's decode workload for a given tracked-UE count."""
+
+    profile: CellProfile
+    tracked: dict
+    samples: object          # time-domain IQ for one slot
+    ofdm: OfdmConfig
+    slot_index: int
+    n_encoded: int
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """One point of Fig 12."""
+
+    profile: str
+    n_ues: int
+    n_threads: int
+    mean_us: float
+
+
+def build_workload(profile: CellProfile, n_ues: int,
+                   slot_index: int = 4,
+                   active_ues: int = 8) -> Workload:
+    """Tracked table of ``n_ues`` plus a slot with real encoded DCIs.
+
+    Only up to ``active_ues`` UEs carry a DCI this slot (PDCCH capacity
+    caps simultaneous scheduling), but the decoder must check every
+    tracked UE's candidates — which is exactly the O(m) term.
+    """
+    if n_ues < 1:
+        raise ExperimentError(f"need at least one UE: {n_ues}")
+    sniffer = RachSniffer(bwp_n_prb=profile.n_prb)
+    setup = RrcSetup(tc_rnti=0x4601,
+                     search_space=profile.search_space_config(),
+                     mcs_table=profile.mcs_table)
+    sniffer.discover(0x4601, 0.0, setup)
+    for i in range(1, n_ues):
+        sniffer.discover(0x4601 + i, 0.0, None)
+
+    grid = ResourceGrid(profile.n_prb)
+    cfg = profile.dci_size_config()
+    used: set[int] = set()
+    encoded = 0
+    for rnti, ue in list(sniffer.tracked.items()):
+        if encoded >= active_ues:
+            break
+        for start in ue.search_space.candidate_cces(2, slot_index, rnti):
+            cces = set(range(start, start + 2))
+            if cces & used:
+                continue
+            dci = Dci(format=DciFormat.DL_1_1, rnti=rnti,
+                      freq_alloc_riv=riv_encode(0, 4, profile.n_prb),
+                      time_alloc=1, mcs=10, ndi=0, rv=0, harq_id=0)
+            encode_pdcch(dci, cfg, ue.search_space.coreset,
+                         PdcchCandidate(start, 2), grid,
+                         n_id=profile.cell_id, slot_index=slot_index)
+            used |= cces
+            encoded += 1
+            break
+    ofdm = OfdmConfig.for_grid(grid.n_subcarriers)
+    samples = modulate_slot(grid, ofdm)
+    return Workload(profile=profile, tracked=sniffer.tracked,
+                    samples=samples, ofdm=ofdm, slot_index=slot_index,
+                    n_encoded=encoded)
+
+
+def process_one_slot(workload: Workload, n_threads: int,
+                     noise_var: float = 1e-3) -> float:
+    """Demodulate + decode one slot; returns elapsed seconds."""
+    decoder = GridDciDecoder(
+        dci_cfg=workload.profile.dci_size_config(),
+        n_id=workload.profile.cell_id, noise_var=noise_var)
+    start = time.perf_counter()
+    grid = demodulate_slot(workload.samples, workload.ofdm)
+    task = SlotTask(workload.slot_index, grid, workload.tracked)
+    process_slot_task(task, decoder, n_dci_threads=n_threads)
+    return time.perf_counter() - start
+
+
+def measure(profile: CellProfile, n_ues: int, n_threads: int,
+            n_slots: int = 3) -> TimingRow:
+    """Mean per-slot processing time over ``n_slots`` repetitions."""
+    workload = build_workload(profile, n_ues)
+    process_one_slot(workload, n_threads)  # warm-up
+    elapsed = [process_one_slot(workload, n_threads)
+               for _ in range(n_slots)]
+    return TimingRow(profile=profile.name, n_ues=n_ues,
+                     n_threads=n_threads,
+                     mean_us=1e6 * sum(elapsed) / len(elapsed))
+
+
+def run(ue_counts: tuple[int, ...] = UE_COUNTS,
+        n_slots: int = 3) -> list[TimingRow]:
+    """The full sweep: both cells x both thread counts x UE counts."""
+    rows = []
+    for profile in (AMARISOFT_PROFILE, TMOBILE_N25_PROFILE):
+        for n_threads in THREAD_COUNTS:
+            for n_ues in ue_counts:
+                rows.append(measure(profile, n_ues, n_threads,
+                                    n_slots=n_slots))
+    return rows
+
+
+def to_result(rows: list[TimingRow]) -> FigureResult:
+    result = FigureResult(figure="fig12")
+    keys = {(r.profile, r.n_threads) for r in rows}
+    for profile, n_threads in sorted(keys):
+        points = [(float(r.n_ues), r.mean_us) for r in rows
+                  if r.profile == profile and r.n_threads == n_threads]
+        result.add_series(f"{profile}-{n_threads}thread",
+                          sorted(points))
+    # Linearity check: time at the largest UE count over the smallest
+    # should scale roughly with the count ratio, not explode.
+    for profile, n_threads in sorted(keys):
+        mine = sorted([(r.n_ues, r.mean_us) for r in rows
+                       if r.profile == profile
+                       and r.n_threads == n_threads])
+        if len(mine) >= 2 and mine[0][1] > 0:
+            result.summary[f"{profile}-{n_threads}t_growth"] = \
+                mine[-1][1] / mine[0][1]
+    return result
+
+
+def table(rows: list[TimingRow]) -> Table:
+    return Table(
+        title="Fig 12 - per-slot processing time",
+        columns=("cell", "UEs", "threads", "mean us/slot"),
+        rows=tuple((r.profile, r.n_ues, r.n_threads, r.mean_us)
+                   for r in rows))

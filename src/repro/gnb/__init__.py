@@ -1,0 +1,19 @@
+"""The simulated 5G SA gNodeB and its cell profiles."""
+
+from repro.gnb.cell_config import ALL_PROFILES, AMARISOFT_PROFILE, \
+    CellProfile, MOSOLAB_PROFILE, SRSRAN_PROFILE, TMOBILE_N25_PROFILE, \
+    TMOBILE_N71_PROFILE
+from repro.gnb.gnb import DciRecord, GNodeB, GnbLog, Msg4Record, SlotOutput
+from repro.gnb.harq import HarqEntity, HarqProcess
+from repro.gnb.rach import Msg4Event, RachProcedure, RachState
+from repro.gnb.scheduler import AllocationPlan, ProportionalFairScheduler, \
+    RoundRobinScheduler, UeSchedulingContext
+
+__all__ = [
+    "ALL_PROFILES", "AMARISOFT_PROFILE", "AllocationPlan", "CellProfile",
+    "DciRecord", "GNodeB", "GnbLog", "HarqEntity", "HarqProcess",
+    "MOSOLAB_PROFILE", "Msg4Event", "Msg4Record",
+    "ProportionalFairScheduler", "RachProcedure", "RachState",
+    "RoundRobinScheduler", "SRSRAN_PROFILE", "SlotOutput",
+    "TMOBILE_N25_PROFILE", "TMOBILE_N71_PROFILE", "UeSchedulingContext",
+]

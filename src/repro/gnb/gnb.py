@@ -1,0 +1,575 @@
+"""The simulated 5G SA gNodeB (DESIGN.md substitution for the testbeds).
+
+Per slot the gNB: broadcasts MIB/SIB1 on schedule, advances the RACH FSM
+and emits MSG 4s, runs the MAC scheduler over the connected UEs, resolves
+HARQ state into final DCIs and grants, applies each UE's instantaneous
+channel to decide transport-block success, and logs *everything* it
+transmitted into :class:`GnbLog` — the same role srsRAN's log plays as
+ground truth in the paper's evaluation (section 5.2.1).
+
+Two fidelity modes:
+
+* ``message`` - DCIs travel as structured records; a sniffer models its
+  decode success with the calibrated PDCCH BLER.  Fast enough for
+  minutes-long sessions with 64 UEs.
+* ``iq`` - every PDCCH is polar-encoded into a slot resource grid, which
+  the sniffer's virtual USRP captures with noise and actually decodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import SI_RNTI
+from repro.phy.dci import Dci, DciFormat, riv_encode
+from repro.phy.grant import Grant, dci_to_grant
+from repro.phy.numerology import SlotClock
+from repro.phy.pdcch import PdcchCandidate, PdcchError, encode_pdcch
+from repro.phy.resource_grid import GridError, ResourceGrid
+from repro.phy.tbs import transport_block_size
+from repro.phy.uci import UciReport
+from repro.gnb.cell_config import CellProfile
+from repro.gnb.harq import HarqEntity
+from repro.gnb.rach import Msg4Event, RachProcedure
+from repro.gnb.scheduler import AllocationPlan, BaseScheduler, \
+    ProportionalFairScheduler, RoundRobinScheduler, \
+    UeSchedulingContext, build_dci
+from repro.rrc.messages import Mib, RrcSetup, Sib1
+from repro.ue.channel import transport_block_survives
+from repro.ue.ue import UserEquipment
+
+
+class GnbError(ValueError):
+    """Raised for invalid gNB operations."""
+
+
+@dataclass(frozen=True)
+class DciRecord:
+    """Ground truth for one transmitted DCI (one srsRAN log line)."""
+
+    slot_index: int
+    time_s: float
+    rnti: int
+    dci: Dci
+    grant: Grant
+    candidate: PdcchCandidate
+    search_space: str            # "common" or "ue"
+    is_retransmission: bool
+    delivered: bool              # did the target UE decode the data?
+    payload_bytes: int
+    n_packets: int
+
+
+@dataclass(frozen=True)
+class Msg4Record:
+    """Ground truth for one RACH completion (MSG 4)."""
+
+    slot_index: int
+    time_s: float
+    ue_id: int
+    tc_rnti: int
+    rrc_setup: RrcSetup
+
+
+class GnbLog:
+    """The gNB-side log used as evaluation ground truth."""
+
+    def __init__(self) -> None:
+        self.dci_records: list[DciRecord] = []
+        self.msg4_records: list[Msg4Record] = []
+        self.uci_records: list["UciRecord"] = []
+
+    def add_dci(self, record: DciRecord) -> None:
+        self.dci_records.append(record)
+
+    def add_msg4(self, record: Msg4Record) -> None:
+        self.msg4_records.append(record)
+
+    def records_for_rnti(self, rnti: int) -> list[DciRecord]:
+        """All DCIs addressed to one RNTI."""
+        return [r for r in self.dci_records if r.rnti == rnti]
+
+    def downlink_records(self) -> list[DciRecord]:
+        """DL scheduling DCIs (format 1_1, excluding broadcast)."""
+        return [r for r in self.dci_records
+                if r.dci.format is DciFormat.DL_1_1 and r.rnti != SI_RNTI]
+
+    def uplink_records(self) -> list[DciRecord]:
+        """UL scheduling DCIs (format 0_1)."""
+        return [r for r in self.dci_records
+                if r.dci.format is DciFormat.UL_0_1]
+
+
+@dataclass(frozen=True)
+class UciRecord:
+    """Ground truth for one PUCCH UCI transmission (paper section 7's
+    future-work channel, implemented here)."""
+
+    slot_index: int
+    time_s: float
+    rnti: int
+    report: UciReport
+
+
+@dataclass
+class SlotOutput:
+    """Everything on the air in one slot (downlink and uplink)."""
+
+    slot: SlotClock
+    is_downlink: bool
+    dci_records: list[DciRecord] = field(default_factory=list)
+    msg4_records: list[Msg4Record] = field(default_factory=list)
+    uci_records: list[UciRecord] = field(default_factory=list)
+    mib: Mib | None = None
+    sib1: Sib1 | None = None
+    grid: ResourceGrid | None = None
+    #: Time-domain SSB burst (PSS|SSS|PBCH) in iq fidelity, rendered
+    #: whenever the MIB is broadcast; a waveform-bootstrapping sniffer
+    #: correlates and polar-decodes this instead of reading ``mib``.
+    ssb_samples: object | None = None
+
+
+@dataclass
+class _HarqStash:
+    """Payload retained by the gNB for potential retransmission."""
+
+    payload_bytes: int
+    n_packets: int
+    n_prb: int
+    downlink: bool
+
+
+class GNodeB:
+    """The cell: scheduler, RACH, HARQ, broadcast, ground-truth log."""
+
+    def __init__(self, profile: CellProfile, scheduler: str = "rr",
+                 seed: int = 0, fidelity: str = "message",
+                 max_ues_per_slot: int = 8,
+                 olla_target_bler: float | None = None) -> None:
+        if fidelity not in ("message", "iq"):
+            raise GnbError(f"unknown fidelity mode: {fidelity!r}")
+        self.profile = profile
+        self.fidelity = fidelity
+        self._rng = np.random.default_rng(seed)
+        # Grid rendering must not share the BLER draw stream, or iq and
+        # message fidelity would schedule differently from the same seed.
+        self._grid_rng = np.random.default_rng(seed ^ 0x5EED)
+        self.log = GnbLog()
+        self.rach = RachProcedure()
+
+        self._ues: dict[int, UserEquipment] = {}
+        self._by_rnti: dict[int, UserEquipment] = {}
+        # DL and UL HARQ are independent protocol entities (38.321); a
+        # shared entity would interleave NDI toggles across directions
+        # and break the sniffer's per-direction tracking.
+        self._harq: dict[tuple[int, bool], HarqEntity] = {}
+        self._stash: dict[tuple[int, int, bool], _HarqStash] = {}
+        self._pending_retx: dict[int, list[tuple[int, bool]]] = {}
+        self._retx_sizes: dict[int, dict[tuple[int, bool],
+                                         tuple[int, int, int]]] = {}
+        self._ewma: dict[int, float] = {}
+        self._rrc_setup_cache: dict[int, RrcSetup] = {}
+        # CQI as *reported* over PUCCH (used by link adaptation) and the
+        # latest DL decode outcome (fed back as HARQ-ACK in UCI).
+        self._reported_cqi: dict[int, int] = {}
+        self._last_dl_ack: dict[int, int] = {}
+        self.uci_period_slots = 8
+        # Outer-loop link adaptation: when a target BLER is set, per-UE
+        # dB offsets nudge the CQI-derived MCS so the realised first-
+        # transmission error rate converges on the target.
+        self.olla_target_bler = olla_target_bler
+        self._olla_offset: dict[int, float] = {}
+        # Uplink demand as the gNB actually learns it: scheduling
+        # requests open a small probe grant, and buffer status reports
+        # piggy-backed on PUSCH keep the estimate current.  The gNB
+        # never reads UE buffers directly.
+        self._known_ul_backlog: dict[int, int] = {}
+        self.sr_probe_bytes = 128
+
+        grant_config = profile.grant_config()
+        search_space = profile.ue_search_space()
+        scheduler_classes = {"rr": RoundRobinScheduler,
+                             "pf": ProportionalFairScheduler}
+        if scheduler not in scheduler_classes:
+            raise GnbError(f"unknown scheduler policy: {scheduler!r}")
+        self.scheduler: BaseScheduler = scheduler_classes[scheduler](
+            grant_config, search_space, max_ues_per_slot=max_ues_per_slot)
+        self._dci_cfg = profile.dci_size_config()
+        self._common_space = profile.common_search_space()
+
+    # ------------------------------------------------------------ UEs
+    def add_ue(self, ue: UserEquipment, slot_index: int = 0) -> None:
+        """Admit a UE; it starts the RACH process immediately."""
+        if ue.ue_id in self._ues:
+            raise GnbError(f"duplicate UE id {ue.ue_id}")
+        self._ues[ue.ue_id] = ue
+        self.rach.request_connection(ue.ue_id, slot_index)
+
+    def remove_ue(self, ue_id: int, time_s: float | None = None) -> None:
+        """Release a UE (RRC release / departure)."""
+        ue = self._ues.pop(ue_id, None)
+        if ue is None:
+            return
+        if ue.rnti is not None:
+            self._by_rnti.pop(ue.rnti, None)
+        if time_s is not None:
+            ue.departure_time_s = time_s
+        ue.disconnect()
+        self._harq.pop((ue_id, True), None)
+        self._harq.pop((ue_id, False), None)
+        self._pending_retx.pop(ue_id, None)
+        self._retx_sizes.pop(ue_id, None)
+        self._ewma.pop(ue_id, None)
+        self._reported_cqi.pop(ue_id, None)
+        self._last_dl_ack.pop(ue_id, None)
+        self._olla_offset.pop(ue_id, None)
+        self._known_ul_backlog.pop(ue_id, None)
+        self._stash = {k: v for k, v in self._stash.items()
+                       if k[0] != ue_id}
+
+    @property
+    def connected_ues(self) -> list[UserEquipment]:
+        """UEs holding a C-RNTI."""
+        return [ue for ue in self._ues.values() if ue.is_connected]
+
+    @property
+    def ues(self) -> dict[int, UserEquipment]:
+        """All admitted UEs by id (connected or in RACH)."""
+        return dict(self._ues)
+
+    def ue_by_rnti(self, rnti: int) -> UserEquipment | None:
+        """Look up a connected UE by its C-RNTI."""
+        return self._by_rnti.get(rnti)
+
+    # ------------------------------------------------------ broadcast
+    def _broadcast(self, slot: SlotClock, output: SlotOutput) -> None:
+        """MIB on its period; SIB1 with an SI-RNTI DCI on its period."""
+        if slot.slot != 0:
+            return
+        if slot.sfn % self.profile.mib_period_frames == 0:
+            output.mib = self.profile.build_mib(slot.sfn)
+            if self.fidelity == "iq":
+                from repro.core.acquisition import render_cell_broadcast
+                output.ssb_samples = render_cell_broadcast(
+                    self.profile.cell_id, output.mib, pad_before=32,
+                    pad_after=32)
+        if slot.sfn % self.profile.sib1_period_frames == 0:
+            output.sib1 = self.profile.build_sib1()
+            self._emit_sib1_dci(slot, output)
+
+    def _emit_sib1_dci(self, slot: SlotClock, output: SlotOutput) -> None:
+        """The CORESET-0 DCI scheduling SIB1's PDSCH."""
+        n_prb = min(8, self.profile.n_prb)
+        first_prb = self.profile.n_prb - n_prb
+        dci = Dci(format=DciFormat.DL_1_1, rnti=SI_RNTI,
+                  freq_alloc_riv=riv_encode(first_prb, n_prb,
+                                            self.profile.n_prb),
+                  time_alloc=3, mcs=2, ndi=0, rv=0, harq_id=0, dai=0,
+                  tpc=1)
+        grant = dci_to_grant(dci, self.profile.grant_config())
+        starts = self._common_space.candidate_cces(4, slot.index)
+        candidate = PdcchCandidate(first_cce=starts[0] if starts else 0,
+                                   aggregation_level=4)
+        record = DciRecord(
+            slot_index=slot.index, time_s=slot.time_s, rnti=SI_RNTI,
+            dci=dci, grant=grant, candidate=candidate,
+            search_space="common", is_retransmission=False, delivered=True,
+            payload_bytes=grant.tbs_bytes, n_packets=1)
+        self.log.add_dci(record)
+        output.dci_records.append(record)
+
+    # ------------------------------------------------------------ RACH
+    def _handle_msg4(self, events: list[Msg4Event], slot: SlotClock,
+                     output: SlotOutput, used_common_cces: set[int]) -> None:
+        for event in events:
+            ue = self._ues.get(event.ue_id)
+            if ue is None:
+                continue
+            ue.connect(event.tc_rnti)
+            self._by_rnti[event.tc_rnti] = ue
+            self._harq[(ue.ue_id, True)] = HarqEntity()
+            self._harq[(ue.ue_id, False)] = HarqEntity()
+            self._pending_retx[ue.ue_id] = []
+            self._retx_sizes[ue.ue_id] = {}
+            self._ewma[ue.ue_id] = 1.0
+
+            rrc_setup = self._rrc_setup_for(event.tc_rnti)
+            record = Msg4Record(slot_index=slot.index, time_s=slot.time_s,
+                                ue_id=ue.ue_id, tc_rnti=event.tc_rnti,
+                                rrc_setup=rrc_setup)
+            self.log.add_msg4(record)
+            output.msg4_records.append(record)
+            self._emit_msg4_dci(event, slot, output, used_common_cces)
+
+    def _rrc_setup_for(self, tc_rnti: int) -> RrcSetup:
+        """The RRC Setup body; identical across UEs apart from the RNTI
+        (the redundancy the paper's section 3.1.2 optimisation exploits)."""
+        if tc_rnti not in self._rrc_setup_cache:
+            self._rrc_setup_cache[tc_rnti] = RrcSetup(
+                tc_rnti=tc_rnti,
+                search_space=self.profile.search_space_config(),
+                dci_format_dl="1_1",
+                mcs_table=self.profile.mcs_table,
+                max_mimo_layers=self.profile.max_mimo_layers,
+                bwp_id=self.profile.bwp_id)
+        return self._rrc_setup_cache[tc_rnti]
+
+    def _emit_msg4_dci(self, event: Msg4Event, slot: SlotClock,
+                       output: SlotOutput,
+                       used_common_cces: set[int]) -> None:
+        """MSG 4's PDCCH transmission in the common search space."""
+        n_prb = min(4, self.profile.n_prb)
+        dci = Dci(format=DciFormat.DL_1_1, rnti=event.tc_rnti,
+                  freq_alloc_riv=riv_encode(0, n_prb, self.profile.n_prb),
+                  time_alloc=3, mcs=4, ndi=0, rv=0, harq_id=0, dai=0,
+                  tpc=1)
+        grant = dci_to_grant(dci, self.profile.grant_config())
+        candidate = None
+        for start in self._common_space.candidate_cces(4, slot.index):
+            cces = set(range(start, start + 4))
+            if not cces & used_common_cces:
+                used_common_cces |= cces
+                candidate = PdcchCandidate(first_cce=start,
+                                           aggregation_level=4)
+                break
+        if candidate is None:
+            candidate = PdcchCandidate(first_cce=0, aggregation_level=4)
+        record = DciRecord(
+            slot_index=slot.index, time_s=slot.time_s, rnti=event.tc_rnti,
+            dci=dci, grant=grant, candidate=candidate,
+            search_space="common", is_retransmission=False, delivered=True,
+            payload_bytes=grant.tbs_bytes, n_packets=1)
+        self.log.add_dci(record)
+        output.dci_records.append(record)
+
+    # ------------------------------------------------------- data path
+    def _contexts(self) -> list[UeSchedulingContext]:
+        contexts = []
+        for ue in self.connected_ues:
+            assert ue.rnti is not None
+            contexts.append(UeSchedulingContext(
+                ue_id=ue.ue_id, rnti=ue.rnti,
+                dl_backlog_bytes=ue.dl_buffer.backlog_bytes,
+                ul_backlog_bytes=self._known_ul_backlog.get(ue.ue_id, 0),
+                cqi=self._reported_cqi.get(ue.ue_id, ue.current_cqi),
+                olla_offset_db=self._olla_offset.get(ue.ue_id, 0.0),
+                pending_retx=list(self._pending_retx.get(ue.ue_id, [])),
+                retx_prb_sizes=dict(self._retx_sizes.get(ue.ue_id, {})),
+                ewma_throughput_bps=self._ewma.get(ue.ue_id, 1.0)))
+        return contexts
+
+    def _tbs_for_plan(self, plan: AllocationPlan) -> int:
+        config = self.scheduler.grant_config
+        return transport_block_size(
+            plan.n_prb, plan.n_symbols, plan.mcs,
+            n_layers=config.n_layers,
+            n_dmrs_per_prb=config.n_dmrs_per_prb,
+            n_oh_per_prb=config.xoverhead_res).tbs_bits
+
+    def _resolve_plan(self, plan: AllocationPlan, slot: SlotClock,
+                      used_processes: dict[tuple[int, bool], set[int]]) \
+            -> DciRecord | None:
+        """Turn an allocation plan into a transmitted DCI + data result.
+
+        ``used_processes`` tracks HARQ ids already carrying a block this
+        TTI per (UE, direction); real HARQ feedback takes several slots,
+        so a freed process must not be reused within the same slot.
+        """
+        ue = self._ues.get(plan.ue_id)
+        harq = self._harq.get((plan.ue_id, plan.downlink))
+        if ue is None or harq is None or ue.rnti is None:
+            return None
+        used = used_processes.setdefault((plan.ue_id, plan.downlink),
+                                         set())
+
+        tbs_bits = self._tbs_for_plan(plan)
+        if plan.is_retransmission and plan.retx_harq_id is not None:
+            harq_id = plan.retx_harq_id
+            pending = self._pending_retx.get(plan.ue_id, [])
+            if (harq_id, plan.downlink) not in pending:
+                return None
+            pending.remove((harq_id, plan.downlink))
+            _, ndi, rv = harq.transmit_retx(harq_id)
+            stash = self._stash.get((plan.ue_id, harq_id, plan.downlink))
+            payload_bytes = stash.payload_bytes if stash else 0
+            n_packets = stash.n_packets if stash else 0
+        else:
+            result = harq.transmit_new(tbs_bits, exclude=used)
+            if result is None:
+                return None  # all HARQ processes busy this slot
+            harq_id, ndi, rv = result
+            if plan.downlink:
+                payload_bytes, n_packets = ue.dl_buffer.drain(tbs_bits // 8)
+            else:
+                payload_bytes, n_packets = ue.ul_buffer.drain(tbs_bits // 8)
+                # The PUSCH carries a buffer status report: the gNB's
+                # demand estimate snaps to the UE's remaining backlog.
+                self._known_ul_backlog[plan.ue_id] = \
+                    ue.ul_buffer.backlog_bytes
+            self._stash[(plan.ue_id, harq_id, plan.downlink)] = _HarqStash(
+                payload_bytes=payload_bytes, n_packets=n_packets,
+                n_prb=plan.n_prb, downlink=plan.downlink)
+            self._retx_sizes.setdefault(plan.ue_id, {})[
+                (harq_id, plan.downlink)] = (plan.n_prb, plan.time_alloc,
+                                             plan.n_symbols)
+        used.add(harq_id)
+
+        dci = build_dci(plan, self.profile.n_prb, ndi=ndi, rv=rv,
+                        harq_id=harq_id)
+        grant = dci_to_grant(dci, self.scheduler.grant_config)
+
+        # Did the UE decode it? Instantaneous SNR vs the chosen MCS.
+        # Retransmissions benefit from HARQ soft combining: chase
+        # combining of n copies adds ~10 log10(n) dB of effective SNR,
+        # which is what makes post-retransmission drops genuinely rare
+        # on real systems.
+        effective_snr = ue.current_snr_db
+        if plan.is_retransmission:
+            harq_entity = self._harq[(plan.ue_id, plan.downlink)]
+            n_copies = 1 + harq_entity.processes[harq_id].retx_count
+            effective_snr += 10.0 * np.log10(max(n_copies, 1))
+        survives = transport_block_survives(effective_snr, plan.mcs,
+                                            self._rng)
+        if survives:
+            harq.handle_feedback(harq_id, ack=True)
+            stash = self._stash.pop((plan.ue_id, harq_id, plan.downlink),
+                                    None)
+            delivered_bytes = stash.payload_bytes if stash else payload_bytes
+            delivered_packets = stash.n_packets if stash else n_packets
+            if plan.downlink:
+                ue.deliver_downlink(slot.time_s, delivered_bytes,
+                                    delivered_packets)
+            else:
+                ue.deliver_uplink(slot.time_s, delivered_bytes,
+                                  delivered_packets)
+            payload_bytes = delivered_bytes
+            n_packets = delivered_packets
+        else:
+            action = harq.handle_feedback(harq_id, ack=False)
+            if action == "retransmit":
+                self._pending_retx.setdefault(plan.ue_id, []) \
+                    .append((harq_id, plan.downlink))
+            else:  # dropped after max retransmissions
+                self._stash.pop((plan.ue_id, harq_id, plan.downlink), None)
+
+        if plan.downlink:
+            self._last_dl_ack[plan.ue_id] = 1 if survives else 0
+        if self.olla_target_bler is not None \
+                and not plan.is_retransmission:
+            target = self.olla_target_bler
+            step_up = 0.02
+            offset = self._olla_offset.get(plan.ue_id, 0.0)
+            if survives:
+                offset += step_up * target / (1.0 - target)
+            else:
+                offset -= step_up
+            self._olla_offset[plan.ue_id] = max(-12.0, min(3.0, offset))
+
+        # EWMA throughput for the PF policy.
+        delivered_bits = payload_bytes * 8 if survives else 0
+        old = self._ewma.get(plan.ue_id, 1.0)
+        self._ewma[plan.ue_id] = 0.99 * old + 0.01 * delivered_bits \
+            / self.profile.slot_duration_s
+
+        return DciRecord(
+            slot_index=slot.index, time_s=slot.time_s, rnti=ue.rnti,
+            dci=dci, grant=grant, candidate=plan.candidate,
+            search_space="ue", is_retransmission=plan.is_retransmission,
+            delivered=survives, payload_bytes=payload_bytes,
+            n_packets=n_packets)
+
+    # ----------------------------------------------------------- grid
+    def _render_grid(self, output: SlotOutput) -> None:
+        """IQ mode: polar-encode every PDCCH and occupy PDSCH regions."""
+        grid = ResourceGrid(self.profile.n_prb)
+        coreset0 = self.profile.coreset0()
+        dedicated = self.profile.dedicated_coreset()
+        for record in output.dci_records:
+            coreset = coreset0 if record.search_space == "common" \
+                else dedicated
+            try:
+                encode_pdcch(record.dci, self._dci_cfg, coreset,
+                             record.candidate, grid,
+                             n_id=self.profile.cell_id,
+                             slot_index=output.slot.index)
+            except PdcchError:
+                # A candidate occasionally exceeds CORESET 0's CCE count
+                # on narrow carriers; skip rendering (the record stays in
+                # the log, counted as a sniffer miss).
+                continue
+            grant = record.grant
+            if grant.downlink and grant.n_prb > 0:
+                n_res = grant.n_re
+                payload = self._grid_rng.integers(0, 2, 2 * n_res)
+                symbols = (1 - 2.0 * payload[0::2]) \
+                    + 1j * (1 - 2.0 * payload[1::2])
+                symbols /= np.sqrt(2.0)
+                try:
+                    grid.fill_block(grant.first_prb, grant.n_prb,
+                                    grant.first_symbol, grant.n_symbols,
+                                    symbols[:grant.n_prb * 12
+                                            * grant.n_symbols],
+                                    ResourceGrid.PDSCH)
+                except GridError:
+                    continue
+        output.grid = grid
+
+    # ----------------------------------------------------------- step
+    def step(self, slot: SlotClock) -> SlotOutput:
+        """Advance the cell one TTI and return what went on the air."""
+        output = SlotOutput(slot=slot,
+                            is_downlink=self.profile.is_downlink_slot(
+                                slot.index))
+
+        for ue in self._ues.values():
+            ue.advance_slot(slot.index)
+
+        if output.is_downlink:
+            used_common: set[int] = set()
+            self._broadcast(slot, output)
+            self._handle_msg4(self.rach.step(slot.index), slot, output,
+                              used_common)
+
+            plans = self.scheduler.schedule(slot.index, self._contexts())
+            used_processes: dict[tuple[int, bool], set[int]] = {}
+            for plan in plans:
+                record = self._resolve_plan(plan, slot, used_processes)
+                if record is not None:
+                    self.log.add_dci(record)
+                    output.dci_records.append(record)
+
+        if self.profile.is_uplink_slot(slot.index):
+            self._collect_uci(slot, output)
+
+        if self.fidelity == "iq":
+            self._render_grid(output)
+        return output
+
+    def _collect_uci(self, slot: SlotClock, output: SlotOutput) -> None:
+        """Connected UEs transmit periodic UCI on PUCCH (uplink slots):
+        a CQI report, a scheduling request when data waits without a
+        grant, and the last HARQ-ACK verdict."""
+        for ue in self.connected_ues:
+            assert ue.rnti is not None
+            if (slot.index + ue.ue_id) % self.uci_period_slots:
+                continue
+            ack = self._last_dl_ack.pop(ue.ue_id, None)
+            wants_grant = ue.ul_buffer.backlog_bytes > 0 \
+                and self._known_ul_backlog.get(ue.ue_id, 0) == 0
+            report = UciReport(
+                rnti=ue.rnti, slot_index=slot.index,
+                harq_ack=(ack,) if ack is not None else (),
+                scheduling_request=wants_grant,
+                cqi=ue.current_cqi)
+            self._reported_cqi[ue.ue_id] = ue.current_cqi
+            if wants_grant:
+                self._known_ul_backlog[ue.ue_id] = max(
+                    self._known_ul_backlog.get(ue.ue_id, 0),
+                    self.sr_probe_bytes)
+            record = UciRecord(slot_index=slot.index,
+                               time_s=slot.time_s, rnti=ue.rnti,
+                               report=report)
+            self.log.uci_records.append(record)
+            output.uci_records.append(record)

@@ -1,0 +1,36 @@
+"""3GPP physical-layer substrate: the pieces of 38.211/212/214 that both
+the simulated gNB and NR-Scope's decoder are built from."""
+
+from repro.phy.coreset import Coreset, SearchSpace, coreset0_for_bandwidth
+from repro.phy.crc import crc_attach, crc_check, crc_remainder, recover_rnti
+from repro.phy.dci import Dci, DciFormat, DciSizeConfig, dci_payload_size, \
+    riv_decode, riv_encode
+from repro.phy.grant import Grant, GrantConfig, dci_to_grant
+from repro.phy.mcs_tables import McsEntry, mcs_entry, \
+    mcs_for_spectral_efficiency
+from repro.phy.modulation import demodulate_hard, demodulate_soft, modulate
+from repro.phy.numerology import SlotClock, prb_count_for_bandwidth, \
+    slot_duration_s, slots_per_frame
+from repro.phy.pbch import decode_pbch, encode_pbch
+from repro.phy.pdcch import BITS_PER_CCE, PdcchCandidate, dci_crc_attach, \
+    dci_crc_check, dci_recover_rnti, encode_pdcch, try_decode_pdcch
+from repro.phy.resource_grid import ResourceGrid
+from repro.phy.sync import FrameSynchronizer, pss_sequence, render_ssb, \
+    sss_sequence
+from repro.phy.tbs import TbsResult, transport_block_size
+from repro.phy.uci import UciReport, decode_uci, encode_uci
+
+__all__ = [
+    "BITS_PER_CCE", "Coreset", "Dci", "DciFormat", "DciSizeConfig",
+    "FrameSynchronizer", "Grant", "GrantConfig", "McsEntry",
+    "PdcchCandidate", "ResourceGrid", "SearchSpace", "SlotClock",
+    "TbsResult", "UciReport", "coreset0_for_bandwidth", "crc_attach",
+    "crc_check", "crc_remainder", "dci_crc_attach", "dci_crc_check",
+    "dci_payload_size", "dci_recover_rnti", "dci_to_grant", "decode_pbch",
+    "decode_uci", "demodulate_hard", "demodulate_soft", "encode_pbch",
+    "encode_pdcch", "encode_uci", "mcs_entry",
+    "mcs_for_spectral_efficiency", "modulate", "prb_count_for_bandwidth",
+    "pss_sequence", "recover_rnti", "render_ssb", "riv_decode",
+    "riv_encode", "slot_duration_s", "slots_per_frame", "sss_sequence",
+    "transport_block_size", "try_decode_pdcch",
+]

@@ -1,0 +1,134 @@
+"""5G NR numerology: subcarrier spacing, slot timing and indexing.
+
+5G NR supports multiple subcarrier spacings (SCS); the slot (TTI) duration
+shrinks proportionally (38.211 section 4.3.2).  NR-Scope's telemetry loop is
+clocked by slots, so every other module converts between wall-clock time,
+(frame, slot) indices and sample counts through this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import (
+    FRAME_DURATION_S,
+    N_SC_PER_PRB,
+    N_SYMBOLS_PER_SLOT,
+    SFN_MODULO,
+    SLOTS_PER_SUBFRAME,
+    SUPPORTED_SCS_KHZ,
+    TTI_DURATION_S,
+)
+
+
+class NumerologyError(ValueError):
+    """Raised for unsupported subcarrier spacings or invalid indices."""
+
+
+def mu_for_scs(scs_khz: int) -> int:
+    """Return the numerology index ``mu`` with ``scs = 15 * 2**mu`` kHz."""
+    if scs_khz not in SUPPORTED_SCS_KHZ:
+        raise NumerologyError(f"unsupported subcarrier spacing: {scs_khz} kHz")
+    return int(math.log2(scs_khz // 15))
+
+
+def slots_per_frame(scs_khz: int) -> int:
+    """Number of slots in one 10 ms system frame at the given SCS."""
+    if scs_khz not in SLOTS_PER_SUBFRAME:
+        raise NumerologyError(f"unsupported subcarrier spacing: {scs_khz} kHz")
+    return SLOTS_PER_SUBFRAME[scs_khz] * 10
+
+
+def slot_duration_s(scs_khz: int) -> float:
+    """TTI duration in seconds (1 / 0.5 / 0.25 ms)."""
+    if scs_khz not in TTI_DURATION_S:
+        raise NumerologyError(f"unsupported subcarrier spacing: {scs_khz} kHz")
+    return TTI_DURATION_S[scs_khz]
+
+
+def prb_count_for_bandwidth(bandwidth_hz: float, scs_khz: int,
+                            guard_fraction: float = 0.05) -> int:
+    """Usable PRBs for a carrier bandwidth, approximating 38.101 Table 5.3.2-1.
+
+    The 3GPP transmission-bandwidth tables reserve roughly 2-10% guard band
+    depending on channel bandwidth; a 5% default reproduces the common
+    configurations used in the paper (e.g. 51 PRB for 20 MHz at 30 kHz SCS,
+    52 for 10 MHz at 15 kHz).
+    """
+    if scs_khz not in SUPPORTED_SCS_KHZ:
+        raise NumerologyError(f"unsupported subcarrier spacing: {scs_khz} kHz")
+    if bandwidth_hz <= 0:
+        raise NumerologyError(f"bandwidth must be positive, got {bandwidth_hz}")
+    usable_hz = bandwidth_hz * (1.0 - guard_fraction)
+    prb_hz = scs_khz * 1e3 * N_SC_PER_PRB
+    n_prb = int(usable_hz // prb_hz)
+    if n_prb < 1:
+        raise NumerologyError(
+            f"bandwidth {bandwidth_hz} Hz too small for {scs_khz} kHz SCS")
+    return n_prb
+
+
+@dataclass(frozen=True, order=True)
+class SlotClock:
+    """A point in 5G air-interface time: (system frame, slot-in-frame).
+
+    Instances are immutable and ordered; ``index`` gives a monotonically
+    increasing slot counter that survives SFN wraps only within one wrap
+    period, which is all the telemetry sessions in the paper need (a 10
+    minute session spans ~59 SFN periods, so sessions track an epoch too).
+    """
+
+    sfn: int
+    slot: int
+    scs_khz: int = 30
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sfn < SFN_MODULO:
+            raise NumerologyError(f"SFN out of range: {self.sfn}")
+        if not 0 <= self.slot < slots_per_frame(self.scs_khz):
+            raise NumerologyError(f"slot out of range: {self.slot}")
+
+    @property
+    def index(self) -> int:
+        """Monotonic slot counter across frames and SFN wrap epochs."""
+        per_frame = slots_per_frame(self.scs_khz)
+        return ((self.epoch * SFN_MODULO) + self.sfn) * per_frame + self.slot
+
+    @property
+    def time_s(self) -> float:
+        """Elapsed wall-clock seconds since slot 0 of epoch 0."""
+        return self.index * slot_duration_s(self.scs_khz)
+
+    @property
+    def subframe(self) -> int:
+        """Subframe (0-9) containing this slot."""
+        return self.slot // SLOTS_PER_SUBFRAME[self.scs_khz]
+
+    def advance(self, n_slots: int = 1) -> "SlotClock":
+        """Return the clock ``n_slots`` later (may cross SFN wrap)."""
+        if n_slots < 0:
+            raise NumerologyError("cannot advance by a negative slot count")
+        per_frame = slots_per_frame(self.scs_khz)
+        total = self.index + n_slots
+        epoch, rem = divmod(total, SFN_MODULO * per_frame)
+        sfn, slot = divmod(rem, per_frame)
+        return SlotClock(sfn=sfn, slot=slot, scs_khz=self.scs_khz, epoch=epoch)
+
+    @classmethod
+    def from_index(cls, index: int, scs_khz: int = 30) -> "SlotClock":
+        """Build a clock from a monotonic slot counter."""
+        return cls(0, 0, scs_khz).advance(index)
+
+
+def symbol_duration_s(scs_khz: int) -> float:
+    """Average OFDM symbol duration within a slot (CP included)."""
+    return slot_duration_s(scs_khz) / N_SYMBOLS_PER_SLOT
+
+
+def frames_elapsed(seconds: float) -> int:
+    """Whole system frames elapsed in ``seconds`` of wall-clock time."""
+    if seconds < 0:
+        raise NumerologyError("time must be non-negative")
+    return int(seconds / FRAME_DURATION_S)

@@ -1,0 +1,71 @@
+"""The physical broadcast channel carrying the MIB (TS 38.212 section 7.1).
+
+The PBCH is the first *coded* channel a sniffer touches: the MIB payload
+gets a CRC24C, a polar code rate-matched to 864 bits, cell-specific Gold
+scrambling and QPSK — landing on the SSB's 432 data REs.  With this
+module the cell-search path runs the same real encode/decode machinery
+as the PDCCH, so MIB acquisition fails honestly at low SNR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy import polar
+from repro.phy.crc import crc_attach, crc_check
+from repro.phy.modulation import QPSK, demodulate_soft, modulate
+from repro.phy.scrambling import scramble_bits
+
+#: Rate-matched PBCH size (38.212 section 7.1.5).
+PBCH_E_BITS = 864
+
+#: QPSK symbols on the SSB's PBCH REs.
+PBCH_N_SYMBOLS = PBCH_E_BITS // 2
+
+
+class PbchError(ValueError):
+    """Raised for malformed PBCH payloads."""
+
+
+def _scrambling_init(cell_id: int) -> int:
+    """PBCH scrambling seeds from the physical cell identity."""
+    if cell_id < 0:
+        raise PbchError(f"negative cell id: {cell_id}")
+    return cell_id % (1 << 31)
+
+
+def encode_pbch(payload_bits: np.ndarray, cell_id: int) -> np.ndarray:
+    """MIB payload -> CRC24C -> polar -> scramble -> QPSK symbols."""
+    bits = np.asarray(payload_bits, dtype=np.uint8).ravel()
+    if bits.size == 0 or bits.size > 64:
+        raise PbchError(
+            f"PBCH payload must be 1..64 bits, got {bits.size}")
+    with_crc = crc_attach(bits, "crc24c")
+    code = polar.construct(with_crc.size, PBCH_E_BITS)
+    coded = polar.encode(with_crc, code)
+    scrambled = scramble_bits(coded, _scrambling_init(cell_id))
+    return modulate(scrambled, QPSK)
+
+
+def decode_pbch(symbols: np.ndarray, payload_len: int, cell_id: int,
+                noise_var: float) -> np.ndarray | None:
+    """QPSK LLRs -> descramble -> polar decode -> CRC gate.
+
+    Returns the MIB payload bits, or None when the CRC rejects the
+    decode (too noisy, or the wrong cell-ID hypothesis).
+    """
+    if payload_len <= 0 or payload_len > 64:
+        raise PbchError(f"invalid payload length: {payload_len}")
+    syms = np.asarray(symbols, dtype=np.complex128).ravel()
+    if syms.size != PBCH_N_SYMBOLS:
+        raise PbchError(
+            f"PBCH needs {PBCH_N_SYMBOLS} symbols, got {syms.size}")
+    llrs = demodulate_soft(syms, QPSK, max(noise_var, 1e-12))
+    seq = scramble_bits(np.zeros(PBCH_E_BITS, dtype=np.uint8),
+                        _scrambling_init(cell_id)).astype(float)
+    llrs = llrs * (1.0 - 2.0 * seq)
+    code = polar.construct(payload_len + 24, PBCH_E_BITS)
+    block = polar.decode(llrs, code)
+    if not crc_check(block, "crc24c"):
+        return None
+    return block[:payload_len]

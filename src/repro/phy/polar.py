@@ -1,0 +1,208 @@
+"""Polar coding for the PDCCH (TS 38.212 sections 5.3.1 and 5.4.1).
+
+The gNB protects every DCI with a CRC-attached polar code; NR-Scope runs
+the inverse chain, so PDCCH decode failures in this reproduction come from
+genuine successive-cancellation decoding errors under channel noise.
+
+Substitution note (documented in DESIGN.md): the channel reliability order
+is generated with the polarization-weight beta-expansion (beta = 2**0.25)
+instead of embedding the 1024-entry table 5.3.1.2-1 verbatim.  The ordering
+is near-identical in practice and plays the same role; encoder and decoder
+share it, so the system is exactly self-consistent.  Rate matching uses
+suffix shortening (E < N) or repetition (E > N), the two mechanisms the
+standard applies in the regimes PDCCH operates in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+#: Maximum code size for the PDCCH (n_max = 9 in 38.212 section 7.3.3).
+N_MAX_DL = 512
+N_MIN = 32
+
+#: Saturation magnitude for known-zero (shortened) bit LLRs.
+_INF_LLR = 1e9
+
+
+class PolarError(ValueError):
+    """Raised for unsatisfiable code dimensions."""
+
+
+@lru_cache(maxsize=None)
+def reliability_order(n: int) -> tuple[int, ...]:
+    """Channel indices of a length-``2**n`` polar code, least reliable first.
+
+    Polarization-weight construction: index ``i`` with binary digits
+    ``b_{n-1}..b_0`` gets weight ``sum_j b_j * 2**(j/4)``; sorting by weight
+    ascending approximates 38.212 Table 5.3.1.2-1 (the universal sequence
+    was itself derived from this family of constructions).
+    """
+    if not 0 <= n <= 10:
+        raise PolarError(f"polar exponent out of range: {n}")
+    size = 1 << n
+    indices = np.arange(size)
+    weights = np.zeros(size)
+    for j in range(n):
+        weights += ((indices >> j) & 1) * (2.0 ** (j / 4.0))
+    order = np.argsort(weights, kind="stable")
+    return tuple(int(i) for i in order)
+
+
+@dataclass(frozen=True)
+class PolarCode:
+    """A concrete (N, K, E) polar code with its frozen/info index sets."""
+
+    n: int                      # N = 2**n
+    block_len: int              # N
+    info_len: int               # K (payload + CRC bits)
+    rate_matched_len: int       # E (bits on the channel)
+    info_indices: tuple[int, ...]
+    shortened_outputs: tuple[int, ...]
+
+    @property
+    def code_rate(self) -> float:
+        """K / E, the effective channel code rate."""
+        return self.info_len / self.rate_matched_len
+
+
+@lru_cache(maxsize=None)
+def construct(info_len: int, rate_matched_len: int) -> PolarCode:
+    """Choose N and the information set for a (K, E) PDCCH polar code."""
+    if info_len <= 0:
+        raise PolarError(f"K must be positive, got {info_len}")
+    if rate_matched_len < info_len:
+        raise PolarError(
+            f"E={rate_matched_len} cannot carry K={info_len} info bits")
+    n = N_MIN.bit_length() - 1
+    while (1 << n) < min(rate_matched_len, N_MAX_DL) and (1 << n) < N_MAX_DL:
+        n += 1
+    # Ensure the mother code can hold K info bits even after shortening.
+    while ((1 << n) - max(0, (1 << n) - rate_matched_len)) < info_len:
+        n += 1
+        if (1 << n) > N_MAX_DL:
+            raise PolarError(
+                f"K={info_len}, E={rate_matched_len} exceeds PDCCH polar"
+                f" limits (N<=512)")
+    block_len = 1 << n
+
+    if rate_matched_len < block_len:
+        shortened = tuple(range(rate_matched_len, block_len))
+    else:
+        shortened = ()
+    forced_frozen = set(shortened)
+    order = reliability_order(n)
+    # Most reliable usable channels carry information.
+    usable = [i for i in reversed(order) if i not in forced_frozen]
+    if len(usable) < info_len:
+        raise PolarError("not enough usable channels after shortening")
+    info = tuple(sorted(usable[:info_len]))
+    return PolarCode(n=n, block_len=block_len, info_len=info_len,
+                     rate_matched_len=rate_matched_len,
+                     info_indices=info, shortened_outputs=shortened)
+
+
+def _transform(u: np.ndarray) -> np.ndarray:
+    """Arikan transform ``x = u @ F^{(x)n}`` over GF(2), in place on a copy."""
+    x = u.astype(np.uint8).copy()
+    size = x.size
+    stride = 1
+    while stride < size:
+        for start in range(0, size, 2 * stride):
+            x[start:start + stride] ^= x[start + stride:start + 2 * stride]
+        stride *= 2
+    return x
+
+
+def encode(info_bits: np.ndarray, code: PolarCode) -> np.ndarray:
+    """Encode ``K`` info bits into ``E`` rate-matched coded bits."""
+    bits = np.asarray(info_bits, dtype=np.uint8).ravel()
+    if bits.size != code.info_len:
+        raise PolarError(
+            f"expected {code.info_len} info bits, got {bits.size}")
+    u = np.zeros(code.block_len, dtype=np.uint8)
+    u[list(code.info_indices)] = bits
+    x = _transform(u)
+    if code.rate_matched_len <= code.block_len:
+        return x[:code.rate_matched_len].copy()
+    reps = code.rate_matched_len - code.block_len
+    return np.concatenate([x, x[:reps]])
+
+
+def _llrs_to_mother(llrs: np.ndarray, code: PolarCode) -> np.ndarray:
+    """Undo rate matching: fold repetitions, pin shortened bits to zero."""
+    out = np.zeros(code.block_len)
+    base = min(code.rate_matched_len, code.block_len)
+    out[:base] = llrs[:base]
+    if code.rate_matched_len > code.block_len:
+        extra = llrs[code.block_len:]
+        out[:extra.size] += extra
+    for idx in code.shortened_outputs:
+        out[idx] = _INF_LLR
+    return out
+
+
+def _sc_decode(llrs: np.ndarray, frozen_mask: np.ndarray) -> np.ndarray:
+    """Successive-cancellation decode; returns the estimated u vector.
+
+    Positive LLR means bit 0.  Implemented iteratively over a binary tree
+    flattened into per-stage arrays, which keeps it allocation-light for
+    the N <= 512 blocks the PDCCH uses.
+    """
+    size = llrs.size
+    n = size.bit_length() - 1
+    # llr_store[s] holds the LLRs entering stage s (length N each);
+    # bit_store[s] holds partial-sum bits leaving stage s.
+    llr_store = [np.zeros(size) for _ in range(n + 1)]
+    bit_store = [np.zeros(size, dtype=np.uint8) for _ in range(n + 1)]
+    llr_store[n][:] = llrs
+    u_hat = np.zeros(size, dtype=np.uint8)
+    # u bits are produced in natural order as leaves are visited
+    # left-to-right; the buffer offset is position within the stage, not
+    # the u index, so track the leaf count separately.
+    next_u = [0]
+
+    def recurse(stage: int, offset: int) -> None:
+        if stage == 0:
+            idx = next_u[0]
+            next_u[0] += 1
+            if frozen_mask[idx]:
+                u_hat[idx] = 0
+            else:
+                u_hat[idx] = 0 if llr_store[0][offset] >= 0 else 1
+            bit_store[0][offset] = u_hat[idx]
+            return
+        half = 1 << (stage - 1)
+        top = llr_store[stage][offset:offset + half]
+        bot = llr_store[stage][offset + half:offset + 2 * half]
+        # f-node: min-sum combination.
+        llr_store[stage - 1][offset:offset + half] = (
+            np.sign(top) * np.sign(bot) * np.minimum(np.abs(top), np.abs(bot)))
+        recurse(stage - 1, offset)
+        left_bits = bit_store[stage - 1][offset:offset + half].copy()
+        # g-node: conditioned on the left partial sums.
+        llr_store[stage - 1][offset:offset + half] = (
+            bot + (1.0 - 2.0 * left_bits) * top)
+        recurse(stage - 1, offset)
+        right_bits = bit_store[stage - 1][offset:offset + half]
+        bit_store[stage][offset:offset + half] = left_bits ^ right_bits
+        bit_store[stage][offset + half:offset + 2 * half] = right_bits
+
+    recurse(n, 0)
+    return u_hat
+
+
+def decode(llrs: np.ndarray, code: PolarCode) -> np.ndarray:
+    """Decode ``E`` channel LLRs back into ``K`` info bits (hard output)."""
+    arr = np.asarray(llrs, dtype=float).ravel()
+    if arr.size != code.rate_matched_len:
+        raise PolarError(
+            f"expected {code.rate_matched_len} LLRs, got {arr.size}")
+    mother = _llrs_to_mother(arr, code)
+    frozen = np.ones(code.block_len, dtype=bool)
+    frozen[list(code.info_indices)] = False
+    u_hat = _sc_decode(mother, frozen)
+    return u_hat[list(code.info_indices)].astype(np.uint8)

@@ -1,0 +1,130 @@
+"""PRACH preambles: Zadoff-Chu sequences and detection (TS 38.211 6.3.3).
+
+MSG 1 of the random access procedure is a Zadoff-Chu preamble.  The gNB
+distinguishes up to 64 preambles per occasion, built from cyclic shifts
+of prime-length ZC root sequences; detection is circular correlation,
+whose peak position reveals the shift (and, on a real system, the
+round-trip timing).  The sniffer never receives the uplink, but the
+substrate models contention faithfully: two UEs picking the same
+preamble in one occasion collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+#: Short preamble format length (L_RA = 139, 38.211 Table 6.3.3.1-1).
+PREAMBLE_LEN = 139
+
+#: Preambles available per occasion (38.331 totalNumberOfRA-Preambles).
+N_PREAMBLES = 64
+
+
+class PrachError(ValueError):
+    """Raised for invalid preamble configuration."""
+
+
+@lru_cache(maxsize=None)
+def zadoff_chu_root(root: int) -> np.ndarray:
+    """The length-139 ZC root sequence ``x_u(n) = e^{-j pi u n (n+1) / L}``."""
+    if not 1 <= root < PREAMBLE_LEN:
+        raise PrachError(f"ZC root out of range: {root}")
+    n = np.arange(PREAMBLE_LEN)
+    return np.exp(-1j * np.pi * root * n * (n + 1) / PREAMBLE_LEN)
+
+
+@dataclass(frozen=True)
+class PrachConfig:
+    """Preamble numbering: roots and cyclic shift spacing.
+
+    With ``n_shifts_per_root`` shifts per root, preamble ``i`` maps to
+    root ``roots[i // n_shifts]`` shifted by ``(i % n_shifts) * N_cs``.
+    """
+
+    first_root: int = 1
+    n_shifts_per_root: int = 8
+    n_cs: int = 17              # shift spacing (zeroCorrelationZone)
+
+    def __post_init__(self) -> None:
+        if self.n_shifts_per_root < 1:
+            raise PrachError("need at least one shift per root")
+        if self.n_cs * self.n_shifts_per_root > PREAMBLE_LEN:
+            raise PrachError(
+                f"{self.n_shifts_per_root} shifts of {self.n_cs} exceed"
+                f" the sequence length")
+
+    def preamble_to_root_shift(self, index: int) -> tuple[int, int]:
+        """(root, cyclic shift) for preamble ``index``."""
+        if not 0 <= index < N_PREAMBLES:
+            raise PrachError(f"preamble index out of range: {index}")
+        root_offset, shift_index = divmod(index, self.n_shifts_per_root)
+        root = self.first_root + root_offset
+        if root >= PREAMBLE_LEN:
+            raise PrachError(f"preamble {index} exceeds available roots")
+        return root, shift_index * self.n_cs
+
+
+def generate_preamble(index: int,
+                      config: PrachConfig | None = None) -> np.ndarray:
+    """Time sequence of one preamble (unit-magnitude samples)."""
+    config = config or PrachConfig()
+    root, shift = config.preamble_to_root_shift(index)
+    return np.roll(zadoff_chu_root(root), -shift)
+
+
+@dataclass(frozen=True)
+class PreambleDetection:
+    """One detected preamble in an occasion."""
+
+    index: int
+    metric: float               # normalised correlation peak (0..1)
+
+
+def detect_preambles(received: np.ndarray,
+                     config: PrachConfig | None = None,
+                     threshold: float = 0.35) -> list[PreambleDetection]:
+    """Detect all preambles present in one PRACH occasion.
+
+    Correlates the received samples against each root sequence (one FFT
+    per root — ZC roots make every shift detectable from a single
+    circular correlation) and reports each shift bin whose peak clears
+    the threshold.
+    """
+    config = config or PrachConfig()
+    samples = np.asarray(received, dtype=np.complex128).ravel()
+    if samples.size != PREAMBLE_LEN:
+        raise PrachError(
+            f"occasion must be {PREAMBLE_LEN} samples, got {samples.size}")
+    if not 0.0 < threshold <= 1.0:
+        raise PrachError(f"threshold out of range: {threshold}")
+    energy = float(np.linalg.norm(samples))
+    if energy < 1e-9:
+        return []
+    detections: list[PreambleDetection] = []
+    n_roots = -(-N_PREAMBLES // config.n_shifts_per_root)
+    fft_rx = np.fft.fft(samples)
+    reference_norm = np.sqrt(PREAMBLE_LEN)  # ZC samples are unit magnitude
+    for root_offset in range(n_roots):
+        root = config.first_root + root_offset
+        reference = zadoff_chu_root(root)
+        # Circular cross-correlation via FFT, normalised to the
+        # correlation coefficient: 1.0 for a clean exact match,
+        # ~1/sqrt(L) for noise.
+        correlation = np.fft.ifft(fft_rx * np.fft.fft(reference).conj())
+        magnitude = np.abs(correlation) / (energy * reference_norm)
+        for shift_index in range(config.n_shifts_per_root):
+            index = root_offset * config.n_shifts_per_root + shift_index
+            if index >= N_PREAMBLES:
+                break
+            # The preamble was rolled by -shift, so its correlation
+            # peak appears at lag = L - shift (mod L).
+            shift = shift_index * config.n_cs
+            window = magnitude[
+                (PREAMBLE_LEN - shift) % PREAMBLE_LEN]
+            if window >= threshold:
+                detections.append(PreambleDetection(index=index,
+                                                    metric=float(window)))
+    return sorted(detections, key=lambda d: -d.metric)

@@ -1,0 +1,10 @@
+"""Radio medium and sniffer front-end models."""
+
+from repro.radio.iq import AutomaticGainControl, VirtualUsrp, resample
+from repro.radio.medium import Link, PathLossModel, Position, RadioMedium, \
+    lab_medium
+
+__all__ = [
+    "AutomaticGainControl", "Link", "PathLossModel", "Position",
+    "RadioMedium", "VirtualUsrp", "lab_medium", "resample",
+]

@@ -1,0 +1,119 @@
+"""The sniffer's RF front end: capture, AGC and resampling.
+
+Models the USRP-facing block of the paper's Fig 4 pipeline ("Resample and
+AGC").  The virtual radio captures the gNB's transmitted slot grid, adds
+receiver noise for the sniffer's link budget, and normalises levels the
+way an AGC loop would before handing one slot of samples to the workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.phy.ofdm import OfdmConfig, demodulate_slot, modulate_slot
+from repro.phy.resource_grid import ResourceGrid
+from repro.radio.medium import Link
+
+
+class FrontEndError(ValueError):
+    """Raised for invalid capture parameters."""
+
+
+@dataclass
+class AutomaticGainControl:
+    """A first-order AGC loop tracking a target RMS level.
+
+    ``gain`` converges geometrically toward ``target_rms / input_rms``;
+    the smoothing mirrors hardware AGC settling over a few slots.
+    """
+
+    target_rms: float = 1.0
+    smoothing: float = 0.5
+    gain: float = 1.0
+
+    def process(self, samples: np.ndarray) -> np.ndarray:
+        """Scale one slot of samples, updating the loop gain."""
+        arr = np.asarray(samples, dtype=np.complex128)
+        rms = float(np.sqrt(np.mean(np.abs(arr) ** 2)))
+        if rms > 1e-12:
+            desired = self.target_rms / rms
+            self.gain += self.smoothing * (desired - self.gain)
+        return arr * self.gain
+
+
+def resample(samples: np.ndarray, ratio: float) -> np.ndarray:
+    """Rational-free linear resampling by ``ratio`` (output/input rate).
+
+    The paper only needs resampling for the TwinRX daughterboard whose
+    ADC rate does not land FFT bins on subcarriers; linear interpolation
+    is adequate at the oversampling factors involved and keeps the
+    dependency surface at numpy.
+    """
+    if ratio <= 0:
+        raise FrontEndError(f"resample ratio must be positive: {ratio}")
+    arr = np.asarray(samples, dtype=np.complex128).ravel()
+    if ratio == 1.0 or arr.size == 0:
+        return arr.copy()
+    n_out = int(round(arr.size * ratio))
+    src = np.linspace(0.0, arr.size - 1, n_out)
+    real = np.interp(src, np.arange(arr.size), arr.real)
+    imag = np.interp(src, np.arange(arr.size), arr.imag)
+    return real + 1j * imag
+
+
+@dataclass
+class VirtualUsrp:
+    """Captures one slot of air interface per call.
+
+    ``capture_grid`` is the fast path used in grid-fidelity simulations:
+    noise is applied directly in the frequency domain.  ``capture_iq``
+    exercises the full OFDM modulate -> AWGN -> AGC -> demodulate path
+    for the experiments that need time-domain realism.
+    """
+
+    link: Link
+    ofdm: OfdmConfig
+    seed: int = 0
+    agc: AutomaticGainControl = field(default_factory=AutomaticGainControl)
+    resample_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def noise_variance(self) -> float:
+        """Per-RE complex noise variance of this capture chain."""
+        return self.link.noise_variance()
+
+    def capture_grid(self, transmitted: ResourceGrid) -> ResourceGrid:
+        """Frequency-domain capture: transmitted grid + receiver noise."""
+        return transmitted.clone_with_noise(self.link.snr_db, self._rng)
+
+    def capture_iq(self, transmitted: ResourceGrid) -> ResourceGrid:
+        """Full time-domain capture through OFDM, AWGN, resampler, AGC."""
+        if transmitted.n_subcarriers != self.ofdm.n_subcarriers:
+            raise FrontEndError(
+                f"grid width {transmitted.n_subcarriers} does not match"
+                f" front end {self.ofdm.n_subcarriers}")
+        samples = modulate_slot(transmitted, self.ofdm)
+        noise_var = self.noise_variance
+        scale = np.sqrt(noise_var / 2.0)
+        samples = samples + self._rng.normal(0, scale, samples.size) \
+            + 1j * self._rng.normal(0, scale, samples.size)
+        if self.resample_ratio != 1.0:
+            # Out to the daughterboard rate and back onto the FFT raster.
+            samples = resample(resample(samples, self.resample_ratio),
+                               1.0 / self.resample_ratio)
+            samples = samples[:self.ofdm.samples_per_slot]
+            if samples.size < self.ofdm.samples_per_slot:
+                samples = np.pad(samples,
+                                 (0, self.ofdm.samples_per_slot - samples.size))
+        samples = self.agc.process(samples)
+        grid = demodulate_slot(samples, self.ofdm)
+        # Undo the AGC's scaling so downstream LLRs stay calibrated: the
+        # receiver knows its own gain.
+        if self.agc.gain > 1e-12:
+            grid.data /= self.agc.gain
+        return grid

@@ -1,0 +1,135 @@
+"""The radio medium: path loss, shadowing and link SNR.
+
+Stands in for the physical RF path between the gNB, the UEs, and
+NR-Scope's USRP (DESIGN.md substitution table).  The paper's coverage
+results (Fig 13 floor map, the 350 m / 1460 m T-Mobile cells in Fig 6)
+are all functions of the sniffer's receive SNR, which this module models
+with log-distance path loss plus log-normal shadowing — the standard
+indoor/urban abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MediumError(ValueError):
+    """Raised for non-physical link parameters."""
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D position in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss: PL(d) = PL0 + 10 n log10(d / d0).
+
+    Defaults approximate 3GPP UMi at 3.5 GHz (PL0 ~ 32 dB at 1 m,
+    exponent 2.9 indoors / 3.2 urban).  ``shadowing_sigma_db`` adds
+    log-normal shadowing, redrawn per link but fixed over a session, the
+    way a static sniffer experiences it.
+    """
+
+    pl0_db: float = 32.0
+    reference_distance_m: float = 1.0
+    exponent: float = 2.9
+    shadowing_sigma_db: float = 3.0
+
+    def path_loss_db(self, distance_m: float,
+                     rng: np.random.Generator | None = None) -> float:
+        """Path loss at a distance, with optional shadowing draw."""
+        if distance_m <= 0:
+            raise MediumError(f"distance must be positive: {distance_m}")
+        d = max(distance_m, self.reference_distance_m)
+        loss = self.pl0_db + 10.0 * self.exponent * \
+            math.log10(d / self.reference_distance_m)
+        if rng is not None and self.shadowing_sigma_db > 0:
+            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return loss
+
+
+@dataclass
+class Link:
+    """A fixed radio link with a resolved SNR.
+
+    ``snr_db`` is the wideband average; per-slot small-scale variation is
+    the job of :mod:`repro.ue.channel`.
+    """
+
+    snr_db: float
+
+    def noise_variance(self) -> float:
+        """Complex noise variance for unit signal power."""
+        return 10.0 ** (-self.snr_db / 10.0)
+
+
+@dataclass
+class RadioMedium:
+    """Resolves link budgets between the gNB and every receiver.
+
+    The budget is ``SNR = tx_power + tx_gain - PL(d) - noise_floor``.
+    ``noise_floor_dbm`` defaults to thermal noise over 20 MHz plus a 7 dB
+    receiver noise figure (~ -94 dBm).
+    """
+
+    gnb_position: Position
+    tx_power_dbm: float = 30.0
+    antenna_gain_db: float = 6.0
+    noise_floor_dbm: float = -94.0
+    path_loss: PathLossModel = None  # type: ignore[assignment]
+    max_snr_db: float = 40.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.path_loss is None:
+            self.path_loss = PathLossModel()
+        self._rng = np.random.default_rng(self.seed)
+        self._shadowing_cache: dict[tuple[float, float], float] = {}
+
+    def _shadowing_db(self, position: Position) -> float:
+        key = (round(position.x, 3), round(position.y, 3))
+        if key not in self._shadowing_cache:
+            sigma = self.path_loss.shadowing_sigma_db
+            self._shadowing_cache[key] = float(
+                self._rng.normal(0.0, sigma)) if sigma > 0 else 0.0
+        return self._shadowing_cache[key]
+
+    def snr_at(self, position: Position) -> float:
+        """Average downlink SNR (dB) seen by a receiver at ``position``."""
+        distance = self.gnb_position.distance_to(position)
+        loss = self.path_loss.path_loss_db(max(distance, 0.1))
+        loss += self._shadowing_db(position)
+        snr = self.tx_power_dbm + self.antenna_gain_db - loss \
+            - self.noise_floor_dbm
+        return min(snr, self.max_snr_db)
+
+    def link_to(self, position: Position) -> Link:
+        """Resolve a :class:`Link` for a receiver position."""
+        return Link(snr_db=self.snr_at(position))
+
+
+def lab_medium(snr_db: float = 25.0) -> RadioMedium:
+    """A bench-top medium delivering a fixed, clean SNR everywhere.
+
+    Matches the paper's lab settings (USRP a few metres from the gNB):
+    the sniffer link is good, and misses come from scheduling/fading, not
+    the sniffer's own placement.
+    """
+    medium = RadioMedium(gnb_position=Position(0.0, 0.0),
+                         path_loss=PathLossModel(shadowing_sigma_db=0.0))
+    # Pin the budget so snr_at() returns `snr_db` at 1 m.
+    medium.tx_power_dbm = snr_db + medium.noise_floor_dbm \
+        - medium.antenna_gain_db + medium.path_loss.pl0_db
+    return medium

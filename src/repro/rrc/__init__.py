@@ -1,0 +1,11 @@
+"""RRC message set and codec (TS 38.331, abridged)."""
+
+from repro.rrc.codec import BitReader, BitWriter, CodecError
+from repro.rrc.messages import Mib, RachConfig, RrcMessage, RrcRelease, \
+    RrcSetup, SearchSpaceConfig, Sib1, TddConfig, decode_message
+
+__all__ = [
+    "BitReader", "BitWriter", "CodecError", "Mib", "RachConfig",
+    "RrcMessage", "RrcRelease", "RrcSetup", "SearchSpaceConfig", "Sib1",
+    "TddConfig", "decode_message",
+]

@@ -1,0 +1,107 @@
+"""Bit-level codec primitives for the RRC message set.
+
+Real RRC messages are ASN.1 UPER; NR-Scope links a full ASN.1 decoder.
+This reproduction uses a deterministic fixed-width bit codec with the same
+essential property: both ends must agree on the schema, and a sniffer that
+knows the schema can decode broadcast messages bit-exactly.  Each message
+carries a 6-bit type tag followed by its fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CodecError(ValueError):
+    """Raised on malformed or truncated RRC message bits."""
+
+
+class BitWriter:
+    """Accumulates unsigned fields MSB-first into a bit array."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, width: int) -> "BitWriter":
+        """Append ``value`` as ``width`` bits; rejects overflow."""
+        if width < 0:
+            raise CodecError(f"negative field width: {width}")
+        if not 0 <= value < (1 << width):
+            raise CodecError(f"value {value} does not fit in {width} bits")
+        self._bits.extend((value >> (width - 1 - i)) & 1
+                          for i in range(width))
+        return self
+
+    def write_bool(self, flag: bool) -> "BitWriter":
+        """Append a single boolean bit."""
+        return self.write(1 if flag else 0, 1)
+
+    def write_signed(self, value: int, width: int) -> "BitWriter":
+        """Append a two's-complement signed field."""
+        half = 1 << (width - 1)
+        if not -half <= value < half:
+            raise CodecError(f"value {value} does not fit signed {width}")
+        return self.write(value & ((1 << width) - 1), width)
+
+    @property
+    def bit_count(self) -> int:
+        """Bits written so far."""
+        return len(self._bits)
+
+    def to_bits(self) -> np.ndarray:
+        """The accumulated bit array."""
+        return np.array(self._bits, dtype=np.uint8)
+
+    def to_bytes_padded(self) -> bytes:
+        """Byte-aligned rendering (zero padded), as carried in a PDSCH TB."""
+        bits = self._bits + [0] * (-len(self._bits) % 8)
+        out = bytearray()
+        for i in range(0, len(bits), 8):
+            byte = 0
+            for bit in bits[i:i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Consumes unsigned fields MSB-first from a bit array."""
+
+    def __init__(self, bits: np.ndarray | bytes) -> None:
+        if isinstance(bits, (bytes, bytearray)):
+            arr = np.unpackbits(np.frombuffer(bytes(bits), dtype=np.uint8))
+        else:
+            arr = np.asarray(bits, dtype=np.uint8).ravel()
+        if arr.size and arr.max() > 1:
+            raise CodecError("bit array contains non-binary values")
+        self._bits = arr
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Consume ``width`` bits as an unsigned integer."""
+        if width < 0:
+            raise CodecError(f"negative field width: {width}")
+        if self._pos + width > self._bits.size:
+            raise CodecError(
+                f"truncated message: wanted {width} bits at {self._pos},"
+                f" have {self._bits.size}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | int(self._bits[self._pos])
+            self._pos += 1
+        return value
+
+    def read_bool(self) -> bool:
+        """Consume one bit as a boolean."""
+        return self.read(1) == 1
+
+    def read_signed(self, width: int) -> int:
+        """Consume a two's-complement signed field."""
+        raw = self.read(width)
+        half = 1 << (width - 1)
+        return raw - (1 << width) if raw >= half else raw
+
+    @property
+    def remaining(self) -> int:
+        """Bits not yet consumed."""
+        return self._bits.size - self._pos

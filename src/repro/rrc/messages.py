@@ -1,0 +1,325 @@
+"""The RRC message set NR-Scope decodes (TS 38.331, abridged).
+
+Three messages drive the telemetry pipeline (paper section 3.1):
+
+* :class:`Mib` - broadcast every 80 ms on the PBCH; yields the system
+  frame number and where CORESET 0 lives.
+* :class:`Sib1` - scheduled by a SI-RNTI DCI in CORESET 0; yields the
+  cell's common configuration including everything needed to follow the
+  RACH process.
+* :class:`RrcSetup` - MSG 4 of the RACH process; yields the UE-dedicated
+  configuration (search space, DCI format, MCS table, MIMO layers) that
+  makes per-UE DCI decoding possible.
+
+Every message knows how to serialise itself with the deterministic bit
+codec; ``decode_message`` dispatches on the leading type tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rrc.codec import BitReader, BitWriter, CodecError
+
+#: Message type tags (6 bits on the wire).
+_TAG_MIB = 0x01
+_TAG_SIB1 = 0x02
+_TAG_RRC_SETUP = 0x03
+_TAG_RRC_RELEASE = 0x04
+
+#: SCS encodings used in the messages.
+_SCS_CODES = {15: 0, 30: 1, 60: 2}
+_SCS_FROM_CODE = {v: k for k, v in _SCS_CODES.items()}
+
+
+@dataclass(frozen=True)
+class Mib:
+    """Master Information Block: the entry point of cell search."""
+
+    sfn: int
+    scs_common_khz: int
+    ssb_subcarrier_offset: int
+    dmrs_typea_position: int    # 2 or 3
+    coreset0_index: int         # pdcch-ConfigSIB1 high nibble
+    search_space0_index: int    # pdcch-ConfigSIB1 low nibble
+    cell_barred: bool = False
+    intra_freq_reselection: bool = True
+
+    def encode(self) -> np.ndarray:
+        """Serialise to bits (tag + fields)."""
+        writer = BitWriter().write(_TAG_MIB, 6)
+        writer.write(self.sfn, 10)
+        writer.write(_SCS_CODES[self.scs_common_khz], 2)
+        writer.write(self.ssb_subcarrier_offset, 4)
+        writer.write(self.dmrs_typea_position - 2, 1)
+        writer.write(self.coreset0_index, 4)
+        writer.write(self.search_space0_index, 4)
+        writer.write_bool(self.cell_barred)
+        writer.write_bool(self.intra_freq_reselection)
+        return writer.to_bits()
+
+    @classmethod
+    def decode_fields(cls, reader: BitReader) -> "Mib":
+        """Parse the fields after the tag."""
+        return cls(
+            sfn=reader.read(10),
+            scs_common_khz=_SCS_FROM_CODE[reader.read(2)],
+            ssb_subcarrier_offset=reader.read(4),
+            dmrs_typea_position=reader.read(1) + 2,
+            coreset0_index=reader.read(4),
+            search_space0_index=reader.read(4),
+            cell_barred=reader.read_bool(),
+            intra_freq_reselection=reader.read_bool(),
+        )
+
+
+@dataclass(frozen=True)
+class RachConfig:
+    """The slice of SIB1 that schedules the RACH process (38.331
+    RACH-ConfigCommon): where MSG 1 goes and how MSG 2-4 are found."""
+
+    prach_config_index: int = 98
+    msg1_frequency_start: int = 0
+    preamble_received_target_power_dbm: int = -110
+    ra_response_window_slots: int = 20
+    msg1_scs_khz: int = 30
+
+    def encode_into(self, writer: BitWriter) -> None:
+        writer.write(self.prach_config_index, 8)
+        writer.write(self.msg1_frequency_start, 9)
+        writer.write_signed(self.preamble_received_target_power_dbm, 9)
+        writer.write(self.ra_response_window_slots, 6)
+        writer.write(_SCS_CODES[self.msg1_scs_khz], 2)
+
+    @classmethod
+    def decode_from(cls, reader: BitReader) -> "RachConfig":
+        return cls(
+            prach_config_index=reader.read(8),
+            msg1_frequency_start=reader.read(9),
+            preamble_received_target_power_dbm=reader.read_signed(9),
+            ra_response_window_slots=reader.read(6),
+            msg1_scs_khz=_SCS_FROM_CODE[reader.read(2)],
+        )
+
+
+@dataclass(frozen=True)
+class TddConfig:
+    """TDD-UL-DL-ConfigCommon: the slot pattern within one period.
+
+    The paper's lab cells all run TDD with 30 kHz SCS; a common pattern is
+    5 ms periodicity = 10 slots: 7 downlink, 2 uplink, 1 flexible.
+    """
+
+    period_slots: int = 10
+    n_dl_slots: int = 7
+    n_ul_slots: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_dl_slots + self.n_ul_slots > self.period_slots:
+            raise CodecError("TDD pattern exceeds its period")
+
+    def encode_into(self, writer: BitWriter) -> None:
+        writer.write(self.period_slots, 6)
+        writer.write(self.n_dl_slots, 6)
+        writer.write(self.n_ul_slots, 6)
+
+    @classmethod
+    def decode_from(cls, reader: BitReader) -> "TddConfig":
+        return cls(period_slots=reader.read(6), n_dl_slots=reader.read(6),
+                   n_ul_slots=reader.read(6))
+
+    def is_downlink(self, slot_in_period: int) -> bool:
+        """True when the slot carries downlink (flexible counts as DL)."""
+        return slot_in_period % self.period_slots < self.n_dl_slots
+
+    def is_uplink(self, slot_in_period: int) -> bool:
+        """True when the slot is uplink-only."""
+        pos = slot_in_period % self.period_slots
+        return pos >= self.period_slots - self.n_ul_slots
+
+
+@dataclass(frozen=True)
+class Sib1:
+    """System Information Block 1: the cell's common configuration."""
+
+    cell_identity: int
+    n_prb_carrier: int
+    scs_khz: int
+    is_tdd: bool
+    rach: RachConfig = field(default_factory=RachConfig)
+    tdd: TddConfig = field(default_factory=TddConfig)
+    initial_bwp_id: int = 0
+    pdcch_coreset_prbs: int = 48
+    pdcch_coreset_symbols: int = 1
+    si_window_slots: int = 10
+
+    def encode(self) -> np.ndarray:
+        writer = BitWriter().write(_TAG_SIB1, 6)
+        writer.write(self.cell_identity, 36)
+        writer.write(self.n_prb_carrier, 9)
+        writer.write(_SCS_CODES[self.scs_khz], 2)
+        writer.write_bool(self.is_tdd)
+        self.rach.encode_into(writer)
+        self.tdd.encode_into(writer)
+        writer.write(self.initial_bwp_id, 2)
+        writer.write(self.pdcch_coreset_prbs, 9)
+        writer.write(self.pdcch_coreset_symbols, 2)
+        writer.write(self.si_window_slots, 6)
+        return writer.to_bits()
+
+    @classmethod
+    def decode_fields(cls, reader: BitReader) -> "Sib1":
+        return cls(
+            cell_identity=reader.read(36),
+            n_prb_carrier=reader.read(9),
+            scs_khz=_SCS_FROM_CODE[reader.read(2)],
+            is_tdd=reader.read_bool(),
+            rach=RachConfig.decode_from(reader),
+            tdd=TddConfig.decode_from(reader),
+            initial_bwp_id=reader.read(2),
+            pdcch_coreset_prbs=reader.read(9),
+            pdcch_coreset_symbols=reader.read(2),
+            si_window_slots=reader.read(6),
+        )
+
+
+@dataclass(frozen=True)
+class SearchSpaceConfig:
+    """Dedicated search-space parameters carried in MSG 4."""
+
+    coreset_id: int = 1
+    coreset_first_prb: int = 0
+    coreset_n_prb: int = 48
+    coreset_n_symbols: int = 1
+    coreset_first_symbol: int = 1
+    interleaved: bool = True
+    n_candidates_al1: int = 0
+    n_candidates_al2: int = 2
+    n_candidates_al4: int = 2
+    n_candidates_al8: int = 1
+
+    def candidates_per_level(self) -> dict[int, int]:
+        """The {aggregation level: candidate count} map."""
+        return {1: self.n_candidates_al1, 2: self.n_candidates_al2,
+                4: self.n_candidates_al4, 8: self.n_candidates_al8}
+
+    def encode_into(self, writer: BitWriter) -> None:
+        writer.write(self.coreset_id, 4)
+        writer.write(self.coreset_first_prb, 9)
+        writer.write(self.coreset_n_prb, 9)
+        writer.write(self.coreset_n_symbols, 2)
+        writer.write(self.coreset_first_symbol, 2)
+        writer.write_bool(self.interleaved)
+        for count in (self.n_candidates_al1, self.n_candidates_al2,
+                      self.n_candidates_al4, self.n_candidates_al8):
+            writer.write(count, 3)
+
+    @classmethod
+    def decode_from(cls, reader: BitReader) -> "SearchSpaceConfig":
+        return cls(
+            coreset_id=reader.read(4),
+            coreset_first_prb=reader.read(9),
+            coreset_n_prb=reader.read(9),
+            coreset_n_symbols=reader.read(2),
+            coreset_first_symbol=reader.read(2),
+            interleaved=reader.read_bool(),
+            n_candidates_al1=reader.read(3),
+            n_candidates_al2=reader.read(3),
+            n_candidates_al4=reader.read(3),
+            n_candidates_al8=reader.read(3),
+        )
+
+
+@dataclass(frozen=True)
+class RrcSetup:
+    """MSG 4: the UE-dedicated configuration (paper section 3.1.2).
+
+    This is the message whose DCI reveals the C-RNTI and whose body tells
+    NR-Scope how to find the UE's future DCIs: search space, DCI format,
+    MCS table, MIMO layers, DMRS overhead, BWP.
+    """
+
+    tc_rnti: int
+    search_space: SearchSpaceConfig = field(
+        default_factory=SearchSpaceConfig)
+    dci_format_dl: str = "1_1"
+    mcs_table: str = "qam64"
+    max_mimo_layers: int = 1
+    dmrs_add_position: int = 0
+    xoverhead: int = 0
+    bwp_id: int = 0
+
+    def encode(self) -> np.ndarray:
+        writer = BitWriter().write(_TAG_RRC_SETUP, 6)
+        writer.write(self.tc_rnti, 16)
+        self.search_space.encode_into(writer)
+        writer.write_bool(self.dci_format_dl == "1_1")
+        writer.write_bool(self.mcs_table == "qam256")
+        writer.write(self.max_mimo_layers - 1, 2)
+        writer.write(self.dmrs_add_position, 2)
+        writer.write(self.xoverhead, 2)
+        writer.write(self.bwp_id, 2)
+        return writer.to_bits()
+
+    @classmethod
+    def decode_fields(cls, reader: BitReader) -> "RrcSetup":
+        return cls(
+            tc_rnti=reader.read(16),
+            search_space=SearchSpaceConfig.decode_from(reader),
+            dci_format_dl="1_1" if reader.read_bool() else "1_0",
+            mcs_table="qam256" if reader.read_bool() else "qam64",
+            max_mimo_layers=reader.read(2) + 1,
+            dmrs_add_position=reader.read(2),
+            xoverhead=reader.read(2),
+            bwp_id=reader.read(2),
+        )
+
+    @property
+    def n_dmrs_res_per_prb(self) -> int:
+        """DMRS REs per PRB implied by the additional-position count.
+
+        One front-loaded DMRS symbol contributes 12 REs/PRB (type 1, both
+        CDM groups); each additional position adds another 12.
+        """
+        return 12 * (1 + self.dmrs_add_position)
+
+    @property
+    def xoverhead_res(self) -> int:
+        """The xOverhead enum mapped to REs per PRB (0/6/12/18)."""
+        return self.xoverhead * 6
+
+
+@dataclass(frozen=True)
+class RrcRelease:
+    """Connection release; ends a UE's time in the RAN."""
+
+    rnti: int
+
+    def encode(self) -> np.ndarray:
+        return BitWriter().write(_TAG_RRC_RELEASE, 6).write(self.rnti, 16) \
+            .to_bits()
+
+    @classmethod
+    def decode_fields(cls, reader: BitReader) -> "RrcRelease":
+        return cls(rnti=reader.read(16))
+
+
+_DECODERS = {
+    _TAG_MIB: Mib.decode_fields,
+    _TAG_SIB1: Sib1.decode_fields,
+    _TAG_RRC_SETUP: RrcSetup.decode_fields,
+    _TAG_RRC_RELEASE: RrcRelease.decode_fields,
+}
+
+RrcMessage = Mib | Sib1 | RrcSetup | RrcRelease
+
+
+def decode_message(bits: np.ndarray | bytes) -> RrcMessage:
+    """Decode any RRC message by its leading type tag."""
+    reader = BitReader(bits)
+    tag = reader.read(6)
+    if tag not in _DECODERS:
+        raise CodecError(f"unknown RRC message tag: {tag}")
+    return _DECODERS[tag](reader)

@@ -1,0 +1,130 @@
+"""UE mobility: the static / moving / blocked scenarios of Fig 9c and 16.
+
+Mobility changes a UE's average SNR over time; the fading channel adds
+small-scale variation on top.  ``step`` is called once per slot and
+returns the dB adjustment to apply to the UE's base link budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radio.medium import Position
+
+
+class MobilityError(ValueError):
+    """Raised for invalid trajectories."""
+
+
+class MobilityModel:
+    """Interface: per-slot SNR adjustment in dB."""
+
+    def step(self, slot_index: int) -> float:
+        """Advance one slot; return the SNR delta (dB) vs the base link."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Scenario label used in experiment output."""
+        return type(self).__name__.lower()
+
+
+@dataclass
+class StaticUe(MobilityModel):
+    """A UE sitting still: no adjustment."""
+
+    def step(self, slot_index: int) -> float:
+        return 0.0
+
+    @property
+    def name(self) -> str:
+        return "static"
+
+
+@dataclass
+class MovingUe(MobilityModel):
+    """A UE walking a back-and-forth path between two distances.
+
+    The SNR delta follows the path-loss difference between the current
+    and starting distance, producing the slow ramps the paper's moving
+    scenario shows.
+    """
+
+    start: Position
+    gnb: Position
+    speed_mps: float
+    slot_duration_s: float
+    range_m: float = 20.0
+    path_loss_exponent: float = 2.9
+
+    def __post_init__(self) -> None:
+        if self.speed_mps < 0:
+            raise MobilityError(f"negative speed: {self.speed_mps}")
+        self._offset_m = 0.0
+        self._direction = 1.0
+        self._base_distance = max(self.gnb.distance_to(self.start), 1.0)
+
+    def step(self, slot_index: int) -> float:
+        self._offset_m += self._direction * self.speed_mps \
+            * self.slot_duration_s
+        if abs(self._offset_m) >= self.range_m:
+            self._direction = -self._direction
+            self._offset_m = math.copysign(self.range_m, self._offset_m)
+        distance = max(self._base_distance + self._offset_m, 1.0)
+        return -10.0 * self.path_loss_exponent \
+            * math.log10(distance / self._base_distance)
+
+    @property
+    def name(self) -> str:
+        return "moving"
+
+
+@dataclass
+class BlockedUe(MobilityModel):
+    """A UE whose line of sight is intermittently blocked (body/furniture).
+
+    Blockage arrives as an on/off process with exponential dwell times
+    and a fixed penetration loss while blocked.
+    """
+
+    slot_duration_s: float
+    blockage_loss_db: float = 10.0
+    mean_blocked_s: float = 2.0
+    mean_clear_s: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_blocked_s <= 0 or self.mean_clear_s <= 0:
+            raise MobilityError("dwell times must be positive")
+        self._rng = np.random.default_rng(self.seed)
+        self._blocked = False
+        self._remaining_s = float(self._rng.exponential(self.mean_clear_s))
+
+    def step(self, slot_index: int) -> float:
+        self._remaining_s -= self.slot_duration_s
+        if self._remaining_s <= 0:
+            self._blocked = not self._blocked
+            mean = self.mean_blocked_s if self._blocked else self.mean_clear_s
+            self._remaining_s = float(self._rng.exponential(mean))
+        return -self.blockage_loss_db if self._blocked else 0.0
+
+    @property
+    def name(self) -> str:
+        return "blocked"
+
+
+def scenario(name: str, slot_duration_s: float, seed: int = 0,
+             gnb: Position | None = None) -> MobilityModel:
+    """Build a mobility model by scenario name (static/moving/blocked)."""
+    if name == "static":
+        return StaticUe()
+    if name == "moving":
+        origin = gnb or Position(0.0, 0.0)
+        return MovingUe(start=Position(origin.x + 10.0, origin.y), gnb=origin,
+                        speed_mps=1.4, slot_duration_s=slot_duration_s)
+    if name == "blocked":
+        return BlockedUe(slot_duration_s=slot_duration_s, seed=seed)
+    raise MobilityError(f"unknown mobility scenario: {name!r}")

@@ -1,0 +1,101 @@
+"""Tests for DCI matching against ground truth."""
+
+from repro.analysis.matching import match_dcis, per_tti_reg_errors
+from repro.core.telemetry import TelemetryRecord
+from repro.gnb.gnb import DciRecord
+from repro.phy.dci import Dci, DciFormat, riv_encode
+from repro.phy.grant import GrantConfig, dci_to_grant
+from repro.phy.pdcch import PdcchCandidate
+
+CONFIG = GrantConfig(bwp_n_prb=51)
+
+
+def truth_record(slot=0, rnti=0x4601, n_prb=4, downlink=True):
+    fmt = DciFormat.DL_1_1 if downlink else DciFormat.UL_0_1
+    dci = Dci(format=fmt, rnti=rnti,
+              freq_alloc_riv=riv_encode(0, n_prb, 51), time_alloc=1,
+              mcs=10, ndi=0, rv=0, harq_id=0)
+    grant = dci_to_grant(dci, CONFIG)
+    return DciRecord(slot_index=slot, time_s=slot * 5e-4, rnti=rnti,
+                     dci=dci, grant=grant,
+                     candidate=PdcchCandidate(0, 2), search_space="ue",
+                     is_retransmission=False, delivered=True,
+                     payload_bytes=grant.tbs_bytes, n_packets=1)
+
+
+def estimate_record(slot=0, rnti=0x4601, n_prb=4, downlink=True):
+    return TelemetryRecord(slot_index=slot, time_s=slot * 5e-4, rnti=rnti,
+                           downlink=downlink, tbs_bits=1000, n_prb=n_prb,
+                           n_symbols=12, mcs_index=10, harq_id=0, ndi=0,
+                           rv=0, is_retransmission=False,
+                           aggregation_level=2)
+
+
+class TestMatchDcis:
+    def test_perfect_match(self):
+        truth = [truth_record(slot=s) for s in range(5)]
+        est = [estimate_record(slot=s) for s in range(5)]
+        result = match_dcis(truth, est)
+        assert len(result.matched) == 5
+        assert result.miss_rate == 0.0
+        assert result.phantom == []
+
+    def test_miss_detected(self):
+        truth = [truth_record(slot=s) for s in range(4)]
+        est = [estimate_record(slot=s) for s in (0, 2)]
+        result = match_dcis(truth, est)
+        assert result.miss_rate == 0.5
+        assert [r.slot_index for r in result.missed] == [1, 3]
+
+    def test_phantom_detected(self):
+        result = match_dcis([], [estimate_record()])
+        assert len(result.phantom) == 1
+
+    def test_duplicate_estimates_become_phantoms(self):
+        truth = [truth_record()]
+        est = [estimate_record(), estimate_record()]
+        result = match_dcis(truth, est)
+        assert len(result.matched) == 1
+        assert len(result.phantom) == 1
+
+    def test_direction_distinguishes(self):
+        truth = [truth_record(downlink=True),
+                 truth_record(downlink=False)]
+        est = [estimate_record(downlink=True)]
+        result = match_dcis(truth, est, downlink=False)
+        assert result.miss_rate == 1.0
+
+    def test_rnti_filter(self):
+        truth = [truth_record(rnti=0x4601), truth_record(rnti=0x4602)]
+        est = [estimate_record(rnti=0x4601)]
+        result = match_dcis(truth, est, rnti=0x4601)
+        assert result.miss_rate == 0.0
+        assert result.n_ground_truth == 1
+
+    def test_empty_truth_zero_miss(self):
+        assert match_dcis([], []).miss_rate == 0.0
+
+    def test_reg_errors(self):
+        truth = [truth_record(n_prb=4)]
+        est = [estimate_record(n_prb=3)]
+        result = match_dcis(truth, est)
+        assert result.reg_errors() == [12]  # one PRB x 12 symbols
+
+
+class TestPerTtiRegErrors:
+    def test_aligned_slots(self):
+        truth = [truth_record(slot=0, n_prb=4),
+                 truth_record(slot=0, rnti=0x4602, n_prb=2),
+                 truth_record(slot=1, n_prb=5)]
+        est = [estimate_record(slot=0, n_prb=4),
+               estimate_record(slot=0, rnti=0x4602, n_prb=2)]
+        errors = per_tti_reg_errors(truth, est)
+        # Slot 0 perfect; slot 1 entirely missed (5 PRB x 12 symbols).
+        assert errors == [0, 60]
+
+    def test_mostly_zero_when_decoding_is_good(self):
+        truth = [truth_record(slot=s) for s in range(100)]
+        est = [estimate_record(slot=s) for s in range(99)]
+        errors = per_tti_reg_errors(truth, est)
+        zero_fraction = sum(e == 0 for e in errors) / len(errors)
+        assert zero_fraction >= 0.99

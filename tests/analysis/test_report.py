@@ -1,0 +1,52 @@
+"""Tests for the text report renderer."""
+
+import pytest
+
+from repro.analysis.report import ReportError, Table, print_tables, \
+    series_table
+
+
+class TestTable:
+    def test_render_aligned(self):
+        table = Table(title="Demo", columns=("name", "value"),
+                      rows=(("a", 1), ("longer", 2.5)))
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "longer" in lines[4]
+        assert all(len(line) for line in lines[1:])
+
+    def test_float_formatting(self):
+        table = Table(title="t", columns=("x",),
+                      rows=((0.123456,), (1e-5,), (3.0,)))
+        text = table.render()
+        assert "0.123" in text
+        assert "e-05" in text
+
+    def test_row_width_mismatch(self):
+        table = Table(title="t", columns=("a", "b"), rows=((1,),))
+        with pytest.raises(ReportError):
+            table.render()
+
+
+class TestSeriesTable:
+    def test_downsamples(self):
+        series = [(float(i), float(i * i)) for i in range(100)]
+        table = series_table("s", series, "x", "y", max_rows=10)
+        assert len(table.rows) <= 12
+        assert table.rows[-1] == (99.0, 99.0 * 99.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReportError):
+            series_table("s", [], "x", "y")
+
+
+class TestPrint:
+    def test_returns_joined_text(self, capsys):
+        tables = [Table("a", ("x",), ((1,),)),
+                  Table("b", ("y",), ((2,),))]
+        text = print_tables(tables)
+        captured = capsys.readouterr().out
+        assert "a" in text and "b" in text
+        assert captured.strip() == text.strip()

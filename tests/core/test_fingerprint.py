@@ -1,0 +1,131 @@
+"""Tests for RAN fingerprinting (paper section 6, Security)."""
+
+import pytest
+
+from repro import NRScope, Simulation
+from repro.core.fingerprint import (
+    FingerprintError,
+    FingerprintLibrary,
+    anomaly_score,
+    classify_scheduler,
+    fingerprint_distance,
+    fingerprint_session,
+    interleaving_runs,
+)
+from repro.gnb.cell_config import AMARISOFT_PROFILE, SRSRAN_PROFILE
+from repro.ue.population import Session
+
+
+def run_session(profile=SRSRAN_PROFILE, scheduler="rr", seed=101,
+                seconds=1.5, n_ues=4, channel="pedestrian", **kwargs):
+    sim = Simulation.build(profile, n_ues=n_ues, seed=seed,
+                           scheduler=scheduler, traffic="bulk",
+                           channel=channel, **kwargs)
+    scope = NRScope.attach(sim, snr_db=20.0)
+    sim.run(seconds=seconds)
+    return sim, scope
+
+
+class TestFingerprint:
+    def test_basic_shape(self):
+        _, scope = run_session()
+        fingerprint = fingerprint_session(scope.telemetry)
+        assert fingerprint.n_ues == 4
+        assert fingerprint.n_dcis > 100
+        assert 0 < fingerprint.mcs_mean <= 28
+        assert sum(fingerprint.tdra_distribution.values()) == \
+            pytest.approx(1.0)
+        assert sum(fingerprint.aggregation_distribution.values()) == \
+            pytest.approx(1.0)
+        assert fingerprint.as_vector().shape == (26,)
+
+    def test_thin_session_rejected(self):
+        from repro.core.telemetry import TelemetryLog
+        with pytest.raises(FingerprintError):
+            fingerprint_session(TelemetryLog())
+
+    def test_same_cell_fingerprints_close(self):
+        _, a = run_session(seed=101)
+        _, b = run_session(seed=102)
+        _, other = run_session(profile=AMARISOFT_PROFILE, seed=103,
+                               ue_snr_db=14.0, channel="vehicle")
+        fa = fingerprint_session(a.telemetry)
+        fb = fingerprint_session(b.telemetry)
+        fo = fingerprint_session(other.telemetry)
+        assert fingerprint_distance(fa, fb) < fingerprint_distance(fa, fo)
+
+    def test_library_identifies_known_cell(self):
+        _, srs = run_session(seed=104)
+        _, ama = run_session(profile=AMARISOFT_PROFILE, seed=105,
+                             ue_snr_db=14.0, channel="vehicle")
+        library = FingerprintLibrary()
+        library.add("srsran-lab", fingerprint_session(srs.telemetry))
+        library.add("amarisoft-lab", fingerprint_session(ama.telemetry))
+
+        _, fresh = run_session(seed=106)
+        label, distance = library.identify(
+            fingerprint_session(fresh.telemetry))
+        assert label == "srsran-lab"
+        assert distance < 1.0
+
+    def test_empty_library(self):
+        _, scope = run_session(seed=104)
+        with pytest.raises(FingerprintError):
+            FingerprintLibrary().identify(
+                fingerprint_session(scope.telemetry))
+
+
+class TestSchedulerClassification:
+    def test_rr_detected(self):
+        _, scope = run_session(scheduler="rr", seed=107)
+        runs = interleaving_runs(scope.telemetry)
+        assert classify_scheduler(runs) == "round-robin"
+
+    def test_pf_detected_with_skewed_ues(self):
+        # PF's signature needs rate disparity: a strong and a weak UE.
+        sim = Simulation.build(SRSRAN_PROFILE, n_ues=0, seed=108,
+                               scheduler="pf")
+        strong = sim.make_ue(0, traffic="bulk", mean_snr_db=26.0,
+                             rate_bps=8e6)
+        weak = sim.make_ue(1, traffic="bulk", mean_snr_db=6.0,
+                           rate_bps=8e6)
+        sim.gnb.add_ue(strong)
+        sim.gnb.add_ue(weak)
+        scope = NRScope.attach(sim, snr_db=20.0)
+        sim.run(seconds=1.5)
+        runs = interleaving_runs(scope.telemetry)
+        assert classify_scheduler(runs) == "proportional-fair"
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(FingerprintError):
+            classify_scheduler([])
+
+
+class TestAnomalyScore:
+    def test_normal_cell_scores_low(self):
+        sim, scope = run_session(seconds=2.0)
+        score = anomaly_score(scope.telemetry, 2.0,
+                              scope.counters.msg4_seen)
+        assert score < 0.3
+
+    def test_catcher_shaped_cell_scores_high(self):
+        """Many attachments, almost no data: high anomaly score."""
+        sim = Simulation.build(SRSRAN_PROFILE, n_ues=0, seed=109)
+        sessions = [Session(ue_id=i, arrival_s=0.2 * i, holding_s=0.15)
+                    for i in range(10)]
+        sim.schedule_sessions(sessions, traffic="cbr", rate_bps=1e3)
+        scope = NRScope.attach(sim, snr_db=20.0)
+        sim.run(seconds=2.5)
+        assert scope.counters.msg4_seen >= 5
+        score = anomaly_score(scope.telemetry, 2.5,
+                              scope.counters.msg4_seen)
+        assert score > 0.5
+
+    def test_silent_cell_scores_zero(self):
+        from repro.core.telemetry import TelemetryLog
+        assert anomaly_score(TelemetryLog(), 10.0, 0) == 0.0
+
+    def test_bad_duration(self):
+        from repro.core.telemetry import TelemetryLog
+        with pytest.raises(FingerprintError):
+            anomaly_score(TelemetryLog(), 0.0, 1)

@@ -1,0 +1,143 @@
+"""Tests for the Fig 4 worker-pool pipeline."""
+
+import pytest
+
+from repro.core.dci_decoder import GridDciDecoder
+from repro.core.pipeline import PipelineError, SlotTask, WorkerPool, \
+    process_slot_task, shard_ues
+from repro.core.rach_sniffer import RachSniffer
+from repro.gnb.cell_config import SRSRAN_PROFILE
+from repro.phy.dci import Dci, DciFormat, riv_encode
+from repro.phy.pdcch import PdcchCandidate, encode_pdcch
+from repro.phy.resource_grid import ResourceGrid
+from repro.rrc.messages import RrcSetup
+
+
+def build_tracked(n_ues=3):
+    """A tracked-UE table with real search spaces."""
+    sniffer = RachSniffer(bwp_n_prb=51)
+    setup = RrcSetup(tc_rnti=0x4601,
+                     search_space=SRSRAN_PROFILE.search_space_config())
+    sniffer.discover(0x4601, 0.0, setup)
+    for i in range(1, n_ues):
+        sniffer.discover(0x4601 + i, 0.0, None)
+    return sniffer.tracked
+
+
+def build_slot(tracked, slot_index=4):
+    """Encode one real DCI per tracked UE into a grid."""
+    grid = ResourceGrid(SRSRAN_PROFILE.n_prb)
+    cfg = SRSRAN_PROFILE.dci_size_config()
+    used = set()
+    encoded = 0
+    for rnti, ue in tracked.items():
+        space = ue.search_space
+        placed = False
+        for start in space.candidate_cces(2, slot_index, rnti):
+            cces = set(range(start, start + 2))
+            if cces & used:
+                continue
+            dci = Dci(format=DciFormat.DL_1_1, rnti=rnti,
+                      freq_alloc_riv=riv_encode(0, 4, 51), time_alloc=1,
+                      mcs=10, ndi=0, rv=0, harq_id=0)
+            encode_pdcch(dci, cfg, space.coreset,
+                         PdcchCandidate(start, 2), grid,
+                         n_id=SRSRAN_PROFILE.cell_id,
+                         slot_index=slot_index)
+            used |= cces
+            placed = True
+            encoded += 1
+            break
+        if not placed:
+            continue
+    return grid, encoded
+
+
+def make_decoder():
+    return GridDciDecoder(dci_cfg=SRSRAN_PROFILE.dci_size_config(),
+                          n_id=SRSRAN_PROFILE.cell_id, noise_var=1e-3)
+
+
+class TestSharding:
+    def test_covers_all_ues(self):
+        tracked = build_tracked(5)
+        shards = shard_ues(tracked, 3)
+        assert len(shards) == 3
+        merged = {}
+        for shard in shards:
+            merged.update(shard)
+        assert merged == tracked
+
+    def test_balanced(self):
+        shards = shard_ues(build_tracked(6), 3)
+        assert all(len(s) == 2 for s in shards)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(PipelineError):
+            shard_ues({}, 0)
+
+
+class TestProcessSlot:
+    def test_single_thread_decodes_everything(self):
+        tracked = build_tracked(3)
+        grid, encoded = build_slot(tracked)
+        result = process_slot_task(SlotTask(4, grid, tracked),
+                                   make_decoder(), n_dci_threads=1)
+        assert len(result.decoded) == encoded
+        assert result.processing_time_s > 0
+
+    def test_sharded_matches_single_thread(self):
+        tracked = build_tracked(4)
+        grid, encoded = build_slot(tracked)
+        single = process_slot_task(SlotTask(4, grid, tracked),
+                                   make_decoder(), n_dci_threads=1)
+        sharded = process_slot_task(SlotTask(4, grid, tracked),
+                                    make_decoder(), n_dci_threads=4)
+        key = lambda d: (d.dci.rnti, d.dci.format.value)  # noqa: E731
+        assert sorted(map(key, single.decoded)) == \
+            sorted(map(key, sharded.decoded))
+
+
+class TestWorkerPool:
+    def test_processes_all_tasks(self):
+        tracked = build_tracked(2)
+        pool = WorkerPool(make_decoder(), n_workers=2)
+        n_tasks = 6
+        encoded_total = 0
+        for i in range(n_tasks):
+            grid, encoded = build_slot(tracked, slot_index=i + 1)
+            encoded_total += encoded
+            pool.submit(SlotTask(i + 1, grid, tracked))
+        results = pool.drain(n_tasks)
+        pool.shutdown()
+        assert len(results) == n_tasks
+        assert sum(len(r.decoded) for r in results) == encoded_total
+        assert pool.statistics.slots_processed == n_tasks
+        assert pool.statistics.mean_processing_us > 0
+
+    def test_results_tagged_with_workers(self):
+        tracked = build_tracked(1)
+        pool = WorkerPool(make_decoder(), n_workers=3)
+        for i in range(6):
+            grid, _ = build_slot(tracked, slot_index=i + 1)
+            pool.submit(SlotTask(i + 1, grid, tracked))
+        results = pool.drain(6)
+        pool.shutdown()
+        assert all(r.worker_id >= 0 for r in results)
+
+    def test_drain_timeout(self):
+        pool = WorkerPool(make_decoder(), n_workers=1)
+        pool.start()
+        with pytest.raises(PipelineError):
+            pool.drain(1, timeout_s=0.05)
+        pool.shutdown()
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(PipelineError):
+            WorkerPool(make_decoder(), n_workers=0)
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(make_decoder(), n_workers=1)
+        pool.start()
+        pool.shutdown()
+        pool.shutdown()

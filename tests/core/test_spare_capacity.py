@@ -1,0 +1,93 @@
+"""Tests for the fair-share spare capacity estimator (Fig 14)."""
+
+import pytest
+
+from repro.core.spare_capacity import SpareCapacityError, \
+    SpareCapacityEstimator, TtiUsage
+from repro.phy.grant import GrantConfig
+
+
+def make_estimator(n_prb=51, mcs_table="qam256"):
+    return SpareCapacityEstimator(
+        grant_config=GrantConfig(bwp_n_prb=n_prb, mcs_table=mcs_table),
+        n_prb_carrier=n_prb)
+
+
+def usage(slot=0, used=None, mcs=None):
+    used = used or {}
+    return TtiUsage(slot_index=slot, time_s=slot * 0.5e-3,
+                    used_prbs=sum(used.values()), per_ue_prbs=used,
+                    per_ue_mcs=mcs or {r: 10 for r in used})
+
+
+class TestSpareShares:
+    def test_even_split(self):
+        estimator = make_estimator()
+        shares = estimator.observe_tti(usage(used={1: 10, 2: 11}))
+        assert len(shares) == 2
+        spare_total = 51 - 21
+        assert all(s.spare_prbs == spare_total // 2 for s in shares)
+
+    def test_idle_known_ue_gets_share(self):
+        estimator = make_estimator()
+        shares = estimator.observe_tti(usage(used={1: 10}),
+                                       known_rntis=[1, 2])
+        assert {s.rnti for s in shares} == {1, 2}
+        idle = next(s for s in shares if s.rnti == 2)
+        assert idle.used_prbs == 0
+        assert idle.used_bits == 0
+        assert idle.spare_prbs == (51 - 10) // 2
+
+    def test_same_prbs_different_mcs_different_bits(self):
+        """Fig 14a's key observation: equal spare PRBs price differently
+        because the UEs run different modulation and coding rates."""
+        estimator = make_estimator()
+        shares = estimator.observe_tti(
+            usage(used={1: 10, 2: 10}, mcs={1: 27, 2: 5}))
+        by_rnti = {s.rnti: s for s in shares}
+        assert by_rnti[1].spare_prbs == by_rnti[2].spare_prbs
+        assert by_rnti[1].spare_bits > by_rnti[2].spare_bits
+
+    def test_idle_ue_uses_last_seen_mcs(self):
+        estimator = make_estimator()
+        estimator.observe_tti(usage(slot=0, used={1: 5}, mcs={1: 20}))
+        shares = estimator.observe_tti(usage(slot=1), known_rntis=[1])
+        rich = shares[0].spare_bits
+        estimator2 = make_estimator()
+        estimator2.observe_tti(usage(slot=0, used={1: 5}, mcs={1: 2}))
+        poor = estimator2.observe_tti(usage(slot=1),
+                                      known_rntis=[1])[0].spare_bits
+        assert rich > poor
+
+    def test_full_carrier_leaves_nothing(self):
+        estimator = make_estimator()
+        shares = estimator.observe_tti(usage(used={1: 51}))
+        assert shares[0].spare_prbs == 0
+        assert shares[0].spare_bits == 0
+
+    def test_no_ues_no_shares(self):
+        estimator = make_estimator()
+        assert estimator.observe_tti(usage()) == []
+
+    def test_overflow_rejected(self):
+        estimator = make_estimator(n_prb=10)
+        with pytest.raises(SpareCapacityError):
+            estimator.observe_tti(usage(used={1: 11}))
+
+
+class TestSeries:
+    def test_spare_rate_series(self):
+        estimator = make_estimator()
+        for slot in range(5):
+            estimator.observe_tti(usage(slot=slot, used={1: 10}))
+        series = estimator.spare_rate_series(1, slot_duration_s=0.5e-3)
+        assert len(series) == 5
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+        assert all(rate > 0 for _, rate in series)
+
+    def test_prb_series(self):
+        estimator = make_estimator()
+        estimator.observe_tti(usage(slot=3, used={1: 10, 2: 5}))
+        rows = estimator.prb_series(1)
+        assert rows == [(3, 10, (51 - 15) // 2)]

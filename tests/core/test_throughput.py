@@ -1,0 +1,85 @@
+"""Tests for the sliding-window throughput estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.throughput import SlidingWindowEstimator, ThroughputBank, \
+    ThroughputError
+
+
+class TestSlidingWindow:
+    def test_constant_stream(self):
+        estimator = SlidingWindowEstimator(window_s=0.1)
+        # 1000 bits every 1 ms = 1 Mbps.
+        for i in range(500):
+            estimator.add(i * 1e-3, 1000)
+        assert estimator.rate_bps(0.499) == pytest.approx(1e6, rel=0.02)
+
+    def test_rate_decays_after_traffic_stops(self):
+        estimator = SlidingWindowEstimator(window_s=0.1)
+        for i in range(100):
+            estimator.add(i * 1e-3, 1000)
+        busy = estimator.rate_bps(0.1)
+        assert estimator.rate_bps(0.5) == 0.0
+        assert busy > 0
+
+    def test_window_eviction_exact(self):
+        estimator = SlidingWindowEstimator(window_s=1.0)
+        estimator.add(0.0, 100)
+        estimator.add(0.5, 200)
+        assert estimator.rate_bps(0.9) == pytest.approx(300.0)
+        assert estimator.rate_bps(1.05) == pytest.approx(200.0)
+
+    def test_average_rate(self):
+        estimator = SlidingWindowEstimator()
+        estimator.add(0.0, 1000)
+        estimator.add(1.0, 1000)
+        assert estimator.average_rate_bps(2.0) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ThroughputError):
+            SlidingWindowEstimator(window_s=0.0)
+        with pytest.raises(ThroughputError):
+            SlidingWindowEstimator().add(0.0, -5)
+        with pytest.raises(ThroughputError):
+            SlidingWindowEstimator().average_rate_bps(0.0)
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.integers(0, 10**6)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_bits_conserved(self, samples):
+        estimator = SlidingWindowEstimator(window_s=0.5)
+        ordered = sorted(samples)
+        for t, bits in ordered:
+            estimator.add(t, bits)
+        assert estimator.total_bits == sum(b for _, b in samples)
+
+    @given(st.floats(0.01, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_rate_nonnegative(self, window):
+        estimator = SlidingWindowEstimator(window_s=window)
+        estimator.add(1.0, 500)
+        assert estimator.rate_bps(1.0) >= 0.0
+
+
+class TestBank:
+    def test_per_ue_per_direction(self):
+        bank = ThroughputBank(window_s=1.0)
+        bank.add(0x4601, True, 0.5, 1000)
+        bank.add(0x4601, False, 0.5, 500)
+        bank.add(0x4602, True, 0.5, 2000)
+        assert bank.rate_bps(0x4601, 1.0) == pytest.approx(1000.0)
+        assert bank.rate_bps(0x4601, 1.0, downlink=False) == \
+            pytest.approx(500.0)
+        assert bank.rate_bps(0x4602, 1.0) == pytest.approx(2000.0)
+
+    def test_unknown_ue_rate_zero(self):
+        bank = ThroughputBank()
+        assert bank.rate_bps(0x9999, 1.0) == 0.0
+
+    def test_forget(self):
+        bank = ThroughputBank(window_s=10.0)
+        bank.add(0x4601, True, 0.5, 1000)
+        bank.forget(0x4601)
+        assert bank.rate_bps(0x4601, 1.0) == 0.0

@@ -1,0 +1,104 @@
+"""Tests for the paper's cell profiles."""
+
+import pytest
+
+from repro.gnb.cell_config import (
+    ALL_PROFILES,
+    AMARISOFT_PROFILE,
+    CellConfigError,
+    CellProfile,
+    MOSOLAB_PROFILE,
+    SRSRAN_PROFILE,
+    TMOBILE_N25_PROFILE,
+    TMOBILE_N71_PROFILE,
+)
+
+
+class TestPaperProfiles:
+    def test_all_five_present(self):
+        assert set(ALL_PROFILES) == {"srsran", "mosolab", "amarisoft",
+                                     "tmobile-n25", "tmobile-n71"}
+
+    def test_srsran_matches_methodology(self):
+        # Section 5.1: n41 TDD, 2524.95 MHz, 30 kHz SCS, 20 MHz.
+        p = SRSRAN_PROFILE
+        assert p.band == "n41" and p.is_tdd
+        assert p.center_frequency_hz == pytest.approx(2524.95e6)
+        assert p.scs_khz == 30
+        assert p.bandwidth_hz == pytest.approx(20e6)
+        assert p.slot_duration_s == pytest.approx(0.5e-3)
+        assert p.bwp_id == 0
+
+    def test_mosolab_matches_methodology(self):
+        p = MOSOLAB_PROFILE
+        assert p.band == "n48" and p.is_tdd
+        assert p.center_frequency_hz == pytest.approx(3561.6e6)
+
+    def test_amarisoft_matches_methodology(self):
+        p = AMARISOFT_PROFILE
+        assert p.band == "n78" and p.is_tdd
+        assert p.center_frequency_hz == pytest.approx(3489.42e6)
+        assert p.max_mimo_layers == 2
+
+    def test_tmobile_cells_fdd_bwp1(self):
+        # Both commercial cells: FDD, 15 kHz, BWP 1.
+        for p in (TMOBILE_N25_PROFILE, TMOBILE_N71_PROFILE):
+            assert not p.is_tdd
+            assert p.scs_khz == 15
+            assert p.bwp_id == 1
+            assert p.slot_duration_s == pytest.approx(1e-3)
+        assert TMOBILE_N25_PROFILE.bandwidth_hz == pytest.approx(10e6)
+        assert TMOBILE_N71_PROFILE.bandwidth_hz == pytest.approx(15e6)
+
+    def test_distinct_cell_ids(self):
+        ids = [p.cell_id for p in ALL_PROFILES.values()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestDerivedObjects:
+    def test_coresets_disjoint_symbols(self):
+        for p in ALL_PROFILES.values():
+            assert p.coreset0().first_symbol == 0
+            assert p.dedicated_coreset().first_symbol == 1
+
+    def test_search_space_config_roundtrips_coreset(self):
+        p = SRSRAN_PROFILE
+        config = p.search_space_config()
+        coreset = p.dedicated_coreset()
+        assert config.coreset_n_prb == coreset.n_prb
+        assert config.coreset_first_symbol == coreset.first_symbol
+
+    def test_dci_size_config_bwp_bit(self):
+        assert SRSRAN_PROFILE.dci_size_config().bwp_indicator_bits == 0
+        assert TMOBILE_N25_PROFILE.dci_size_config().bwp_indicator_bits == 1
+
+    def test_tdd_gates(self):
+        p = SRSRAN_PROFILE
+        dl_slots = sum(p.is_downlink_slot(s) for s in range(10))
+        ul_slots = sum(p.is_uplink_slot(s) for s in range(10))
+        assert dl_slots == 7
+        assert ul_slots == 2
+
+    def test_fdd_always_both(self):
+        p = TMOBILE_N25_PROFILE
+        assert all(p.is_downlink_slot(s) for s in range(20))
+        assert all(p.is_uplink_slot(s) for s in range(20))
+
+    def test_mib_sib1_consistency(self):
+        p = AMARISOFT_PROFILE
+        mib = p.build_mib(sfn=1030)
+        assert mib.sfn == 6  # wraps at 1024
+        sib1 = p.build_sib1()
+        assert sib1.n_prb_carrier == p.n_prb
+        assert sib1.is_tdd == p.is_tdd
+        assert sib1.cell_identity == p.cell_id
+
+    def test_slots_per_second(self):
+        assert SRSRAN_PROFILE.slots_per_second == 2000
+        assert TMOBILE_N25_PROFILE.slots_per_second == 1000
+
+    def test_invalid_profile(self):
+        with pytest.raises(CellConfigError):
+            CellProfile(name="bad", band="n1", is_tdd=False,
+                        center_frequency_hz=1e9, scs_khz=45,
+                        bandwidth_hz=10e6, cell_id=9)

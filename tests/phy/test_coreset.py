@@ -1,0 +1,136 @@
+"""Tests for repro.phy.coreset: CORESETs, CCE mapping, search spaces."""
+
+import pytest
+
+from repro.phy.coreset import (
+    Coreset,
+    CoresetError,
+    SearchSpace,
+    coreset0_for_bandwidth,
+)
+
+
+def make_coreset(**overrides):
+    base = dict(coreset_id=1, first_prb=0, n_prb=48, n_symbols=1)
+    base.update(overrides)
+    return Coreset(**base)
+
+
+class TestCoreset:
+    def test_counts(self):
+        coreset = make_coreset()
+        assert coreset.n_regs == 48
+        assert coreset.n_cces == 8
+
+    def test_two_symbol_counts(self):
+        coreset = make_coreset(n_prb=24, n_symbols=2)
+        assert coreset.n_regs == 48
+        assert coreset.n_cces == 8
+
+    def test_validation(self):
+        with pytest.raises(CoresetError):
+            make_coreset(n_prb=5)  # narrower than one CCE
+        with pytest.raises(CoresetError):
+            make_coreset(n_symbols=4)
+        with pytest.raises(CoresetError):
+            make_coreset(n_prb=49)  # REGs not multiple of 6
+
+    def test_cce_regs_disjoint_and_complete(self):
+        coreset = make_coreset()
+        seen = set()
+        for cce in range(coreset.n_cces):
+            regs = coreset.cce_to_regs(cce)
+            assert len(regs) == 6
+            assert not seen & set(regs), "CCEs must not share REGs"
+            seen.update(regs)
+        assert seen == set(range(coreset.n_regs))
+
+    def test_non_interleaved_is_contiguous(self):
+        coreset = make_coreset(interleaved=False)
+        assert coreset.cce_to_regs(0) == list(range(6))
+        assert coreset.cce_to_regs(1) == list(range(6, 12))
+
+    def test_interleaved_spreads(self):
+        # Consecutive CCEs must land on non-adjacent REG bundles, unlike
+        # the non-interleaved mapping (CCE 0 itself maps to bundle 0 in
+        # both, so compare CCE 1).
+        interleaved = make_coreset(interleaved=True)
+        plain = make_coreset(interleaved=False)
+        assert interleaved.cce_to_regs(1) != plain.cce_to_regs(1)
+
+    def test_cce_out_of_range(self):
+        with pytest.raises(CoresetError):
+            make_coreset().cce_to_regs(8)
+
+    def test_reg_positions(self):
+        coreset = make_coreset(first_prb=10, n_prb=24, n_symbols=2)
+        assert coreset.reg_to_position(0) == (10, 0)
+        assert coreset.reg_to_position(1) == (10, 1)
+        assert coreset.reg_to_position(2) == (11, 0)
+        with pytest.raises(CoresetError):
+            coreset.reg_to_position(48)
+
+
+class TestSearchSpace:
+    def _space(self, common=True, coreset=None):
+        return SearchSpace(search_space_id=1,
+                           coreset=coreset or make_coreset(),
+                           is_common=common,
+                           candidates_per_level={1: 4, 2: 4, 4: 2, 8: 1})
+
+    def test_common_candidates_deterministic(self):
+        space = self._space(common=True)
+        a = space.candidate_cces(2, slot_index=0)
+        b = space.candidate_cces(2, slot_index=0)
+        assert a == b
+
+    def test_candidates_aligned_to_level(self):
+        space = self._space(common=True)
+        for level in (1, 2, 4, 8):
+            for start in space.candidate_cces(level, 3):
+                assert start % level == 0
+                assert start + level <= space.coreset.n_cces
+
+    def test_ue_specific_requires_rnti(self):
+        space = self._space(common=False)
+        with pytest.raises(CoresetError):
+            space.candidate_cces(2, 0, rnti=0)
+
+    def test_ue_specific_varies_with_rnti(self):
+        space = self._space(common=False)
+        seen = {tuple(space.candidate_cces(2, 5, rnti=r))
+                for r in range(0x100, 0x140)}
+        assert len(seen) > 1
+
+    def test_ue_specific_varies_with_slot(self):
+        space = self._space(common=False)
+        seen = {tuple(space.candidate_cces(2, s, rnti=0x4296))
+                for s in range(16)}
+        assert len(seen) > 1
+
+    def test_level_larger_than_coreset_gives_nothing(self):
+        space = self._space()
+        assert space.candidate_cces(16, 0) == []
+
+    def test_invalid_level_rejected(self):
+        space = self._space()
+        with pytest.raises(CoresetError):
+            space.candidate_cces(3, 0)
+        with pytest.raises(CoresetError):
+            SearchSpace(1, make_coreset(), True, {5: 1})
+
+
+class TestCoreset0:
+    def test_wide_carrier(self):
+        coreset = coreset0_for_bandwidth(51)
+        assert coreset.n_prb == 48
+        assert coreset.coreset_id == 0
+
+    def test_narrow_carrier(self):
+        coreset = coreset0_for_bandwidth(25)
+        assert coreset.n_prb == 24
+        assert coreset.n_symbols == 2
+
+    def test_too_narrow(self):
+        with pytest.raises(CoresetError):
+            coreset0_for_bandwidth(20)

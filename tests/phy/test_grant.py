@@ -1,0 +1,99 @@
+"""Tests for repro.phy.grant: DCI-to-grant translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.dci import Dci, DciFormat, riv_encode
+from repro.phy.grant import (
+    Grant,
+    GrantConfig,
+    GrantError,
+    TDRA_TABLE,
+    dci_to_grant,
+    time_allocation,
+)
+
+CONFIG = GrantConfig(bwp_n_prb=51, mcs_table="qam256", n_layers=2)
+
+
+def make_dci(**overrides):
+    base = dict(format=DciFormat.DL_1_1, rnti=0x4296,
+                freq_alloc_riv=riv_encode(0, 3, 51), time_alloc=1, mcs=27,
+                ndi=0, rv=0, harq_id=11)
+    base.update(overrides)
+    return Dci(**base)
+
+
+class TestTdra:
+    def test_table_shape(self):
+        assert len(TDRA_TABLE) == 16
+        for start, length, mapping in TDRA_TABLE:
+            assert 0 <= start < 14
+            assert 1 <= length <= 14
+            assert start + length <= 14
+            assert mapping in ("A", "B")
+
+    def test_out_of_range(self):
+        with pytest.raises(GrantError):
+            time_allocation(16)
+        with pytest.raises(GrantError):
+            time_allocation(-1)
+
+
+class TestGrantConfig:
+    def test_validation(self):
+        with pytest.raises(GrantError):
+            GrantConfig(bwp_n_prb=0)
+        with pytest.raises(GrantError):
+            GrantConfig(bwp_n_prb=51, n_layers=5)
+
+
+class TestDciToGrant:
+    def test_basic_translation(self):
+        grant = dci_to_grant(make_dci(), CONFIG)
+        assert isinstance(grant, Grant)
+        assert grant.rnti == 0x4296
+        assert grant.downlink
+        assert (grant.first_prb, grant.n_prb) == (0, 3)
+        assert (grant.first_symbol, grant.n_symbols) == (2, 12)
+        assert grant.n_layers == 2
+        assert grant.tbs_bits > 0
+
+    def test_uplink_direction(self):
+        dci = make_dci(format=DciFormat.UL_0_1)
+        assert not dci_to_grant(dci, CONFIG).downlink
+
+    def test_reg_count(self):
+        grant = dci_to_grant(make_dci(), CONFIG)
+        assert grant.n_regs == 3 * 12
+
+    def test_bad_riv_rejected(self):
+        # 2047 (the field's max value) decodes to an allocation crossing
+        # the BWP edge under both RIV branches.
+        dci = make_dci(freq_alloc_riv=2047)
+        with pytest.raises(GrantError):
+            dci_to_grant(dci, CONFIG)
+
+    def test_describe(self):
+        text = dci_to_grant(make_dci(), CONFIG).describe()
+        assert "PDSCH" in text
+        assert "tbs=" in text
+
+    def test_gnb_and_sniffer_agree(self):
+        """Identical DCIs + configs must give identical TBS on both ends."""
+        dci = make_dci(mcs=15, freq_alloc_riv=riv_encode(10, 20, 51))
+        assert dci_to_grant(dci, CONFIG) == dci_to_grant(dci, CONFIG)
+
+    @given(st.integers(0, 27), st.integers(0, 15), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_any_valid_dci_translates(self, mcs, t_alloc, data):
+        n_prb = data.draw(st.integers(1, 51))
+        start = data.draw(st.integers(0, 51 - n_prb))
+        dci = make_dci(mcs=mcs, time_alloc=t_alloc,
+                       freq_alloc_riv=riv_encode(start, n_prb, 51))
+        grant = dci_to_grant(dci, CONFIG)
+        assert grant.n_prb == n_prb
+        assert grant.first_prb == start
+        assert grant.tbs_bits > 0
+        assert grant.tbs_bytes == grant.tbs_bits // 8

@@ -1,0 +1,129 @@
+"""Tests for repro.phy.modulation: constellations, mapping, LLRs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.modulation import (
+    BPSK,
+    ModulationError,
+    QAM16,
+    QAM64,
+    QAM256,
+    QPSK,
+    SCHEMES,
+    constellation,
+    demodulate_hard,
+    demodulate_soft,
+    modulate,
+)
+
+ALL = [BPSK, QPSK, QAM16, QAM64, QAM256]
+
+
+class TestConstellation:
+    @pytest.mark.parametrize("scheme", ALL)
+    def test_unit_average_energy(self, scheme):
+        points = constellation(scheme)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("scheme", ALL)
+    def test_all_points_distinct(self, scheme):
+        points = constellation(scheme)
+        assert len(set(np.round(points, 12))) == points.size
+
+    def test_qpsk_matches_standard(self):
+        # 38.211 5.1.3: d(00) = (1+j)/sqrt(2) etc.
+        points = constellation(QPSK)
+        root2 = np.sqrt(2.0)
+        assert points[0b00] == pytest.approx((1 + 1j) / root2)
+        assert points[0b01] == pytest.approx((1 - 1j) / root2)
+        assert points[0b10] == pytest.approx((-1 + 1j) / root2)
+        assert points[0b11] == pytest.approx((-1 - 1j) / root2)
+
+    def test_16qam_corner_points(self):
+        # 38.211 5.1.4: b=0000 -> (1+1j)/sqrt(10); b=0101 -> (3+3j)? no:
+        # b=(b0 b1 b2 b3) = 0 0 1 1 -> (3 + 3j)/sqrt(10).
+        points = constellation(QAM16)
+        root10 = np.sqrt(10.0)
+        assert points[0b0000] == pytest.approx((1 + 1j) / root10)
+        assert points[0b0011] == pytest.approx((3 + 3j) / root10)
+        # b=(1,0,1,0): I from (b0,b2)=(1,1) -> -3, Q from (b1,b3)=(0,0) -> 1.
+        assert points[0b1010] == pytest.approx((-3 + 1j) / root10)
+        assert points[0b1111] == pytest.approx((-3 - 3j) / root10)
+
+    def test_gray_property_neighbours_differ_by_one_bit(self):
+        """Adjacent constellation points differ in exactly one bit (Gray)."""
+        points = constellation(QAM64)
+        values = np.arange(points.size)
+        min_dist = 2.0 / np.sqrt(42.0)  # nearest-neighbour spacing
+        for i in values:
+            for j in values:
+                if i < j and abs(points[i] - points[j]) < min_dist * 1.01:
+                    assert bin(i ^ j).count("1") == 1, (i, j)
+
+
+class TestModulate:
+    @pytest.mark.parametrize("scheme", ALL)
+    def test_roundtrip_hard(self, scheme, rng):
+        bits = rng.integers(0, 2, scheme.bits_per_symbol * 64).astype(np.uint8)
+        assert np.array_equal(demodulate_hard(modulate(bits, scheme), scheme),
+                              bits)
+
+    def test_rejects_partial_symbol(self):
+        with pytest.raises(ModulationError):
+            modulate(np.zeros(5, dtype=np.uint8), QPSK)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ModulationError):
+            modulate(np.zeros(2, dtype=np.uint8), "1024QAM")
+
+    def test_lookup_by_name(self, rng):
+        bits = rng.integers(0, 2, 8).astype(np.uint8)
+        assert np.array_equal(modulate(bits, "QPSK"), modulate(bits, QPSK))
+        assert set(SCHEMES) == {"BPSK", "QPSK", "16QAM", "64QAM", "256QAM"}
+
+
+class TestSoftDemodulation:
+    @pytest.mark.parametrize("scheme", [QPSK, QAM16, QAM64, QAM256])
+    def test_llr_signs_match_bits_noiseless(self, scheme, rng):
+        bits = rng.integers(0, 2, scheme.bits_per_symbol * 32).astype(np.uint8)
+        llrs = demodulate_soft(modulate(bits, scheme), scheme, noise_var=0.1)
+        hard = (llrs < 0).astype(np.uint8)
+        assert np.array_equal(hard, bits)
+
+    def test_llr_magnitude_scales_with_noise(self, rng):
+        bits = rng.integers(0, 2, 40).astype(np.uint8)
+        symbols = modulate(bits, QPSK)
+        strong = demodulate_soft(symbols, QPSK, noise_var=0.01)
+        weak = demodulate_soft(symbols, QPSK, noise_var=1.0)
+        assert np.all(np.abs(strong) > np.abs(weak))
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ModulationError):
+            demodulate_soft(np.array([1 + 0j]), QPSK, noise_var=0.0)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_qam64_roundtrip(self, seed):
+        local = np.random.default_rng(seed)
+        bits = local.integers(0, 2, 6 * 20).astype(np.uint8)
+        noisy = modulate(bits, QAM64) + 0.01 * (
+            local.normal(size=20) + 1j * local.normal(size=20))
+        llrs = demodulate_soft(noisy, QAM64, noise_var=0.02)
+        assert np.array_equal((llrs < 0).astype(np.uint8), bits)
+
+    def test_ber_increases_with_noise(self, rng):
+        bits = rng.integers(0, 2, 6 * 4000).astype(np.uint8)
+        symbols = modulate(bits, QAM64)
+
+        def ber(noise_var):
+            noise = rng.normal(0, np.sqrt(noise_var / 2), symbols.size) + \
+                1j * rng.normal(0, np.sqrt(noise_var / 2), symbols.size)
+            hard = demodulate_hard(symbols + noise, QAM64)
+            return np.mean(hard != bits)
+
+        low, high = ber(0.001), ber(0.3)
+        assert low < 0.001
+        assert high > 0.01

@@ -1,0 +1,120 @@
+"""Tests for repro.phy.numerology: SCS, slot timing, SlotClock."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.numerology import (
+    NumerologyError,
+    SlotClock,
+    frames_elapsed,
+    mu_for_scs,
+    prb_count_for_bandwidth,
+    slot_duration_s,
+    slots_per_frame,
+    symbol_duration_s,
+)
+
+
+class TestScs:
+    def test_mu_values(self):
+        assert mu_for_scs(15) == 0
+        assert mu_for_scs(30) == 1
+        assert mu_for_scs(60) == 2
+
+    def test_rejects_unsupported(self):
+        for bad in (120, 7, 0, -15):
+            with pytest.raises(NumerologyError):
+                mu_for_scs(bad)
+
+    def test_slots_per_frame(self):
+        assert slots_per_frame(15) == 10
+        assert slots_per_frame(30) == 20
+        assert slots_per_frame(60) == 40
+
+    def test_tti_durations_match_paper(self):
+        # Paper section 3: TTIs of 1, 0.5 and 0.25 ms.
+        assert slot_duration_s(15) == pytest.approx(1e-3)
+        assert slot_duration_s(30) == pytest.approx(0.5e-3)
+        assert slot_duration_s(60) == pytest.approx(0.25e-3)
+
+    def test_symbol_duration(self):
+        assert symbol_duration_s(30) == pytest.approx(0.5e-3 / 14)
+
+
+class TestPrbCount:
+    def test_paper_configurations(self):
+        # 20 MHz @ 30 kHz SCS: around 51 PRB (38.101 gives exactly 51).
+        assert prb_count_for_bandwidth(20e6, 30) == pytest.approx(52, abs=2)
+        # 10 MHz @ 15 kHz: around 52 PRB.
+        assert prb_count_for_bandwidth(10e6, 15) == pytest.approx(52, abs=2)
+        # 15 MHz @ 15 kHz: around 79 PRB.
+        assert prb_count_for_bandwidth(15e6, 15) == pytest.approx(79, abs=2)
+
+    def test_rejects_tiny_bandwidth(self):
+        with pytest.raises(NumerologyError):
+            prb_count_for_bandwidth(100e3, 30)
+
+    def test_rejects_negative(self):
+        with pytest.raises(NumerologyError):
+            prb_count_for_bandwidth(-1.0, 15)
+
+
+class TestSlotClock:
+    def test_zero(self):
+        clock = SlotClock(0, 0, 30)
+        assert clock.index == 0
+        assert clock.time_s == 0.0
+
+    def test_advance_within_frame(self):
+        clock = SlotClock(0, 0, 30).advance(7)
+        assert (clock.sfn, clock.slot) == (0, 7)
+
+    def test_advance_across_frames(self):
+        clock = SlotClock(0, 19, 30).advance(1)
+        assert (clock.sfn, clock.slot) == (1, 0)
+
+    def test_advance_across_sfn_wrap(self):
+        clock = SlotClock(1023, 19, 30).advance(1)
+        assert (clock.sfn, clock.slot, clock.epoch) == (0, 0, 1)
+        assert clock.index == 1024 * 20
+
+    def test_time_matches_index(self):
+        clock = SlotClock.from_index(4321, 30)
+        assert clock.time_s == pytest.approx(4321 * 0.5e-3)
+
+    def test_subframe(self):
+        assert SlotClock(0, 3, 30).subframe == 1
+        assert SlotClock(0, 3, 15).subframe == 3
+
+    def test_ordering(self):
+        assert SlotClock(0, 3, 30) < SlotClock(1, 0, 30)
+
+    def test_invalid_indices(self):
+        with pytest.raises(NumerologyError):
+            SlotClock(1024, 0, 30)
+        with pytest.raises(NumerologyError):
+            SlotClock(0, 20, 30)
+        with pytest.raises(NumerologyError):
+            SlotClock(0, 0, 30).advance(-1)
+
+    @given(st.integers(0, 10**7), st.sampled_from([15, 30, 60]))
+    @settings(max_examples=50, deadline=None)
+    def test_property_from_index_roundtrip(self, index, scs):
+        assert SlotClock.from_index(index, scs).index == index
+
+    @given(st.integers(0, 10**5), st.integers(0, 10**4))
+    @settings(max_examples=30, deadline=None)
+    def test_property_advance_additive(self, a, b):
+        lhs = SlotClock.from_index(a, 30).advance(b)
+        assert lhs.index == a + b
+
+
+class TestFramesElapsed:
+    def test_ten_minutes(self):
+        # A 10-minute paper telemetry session spans 60000 frames.
+        assert frames_elapsed(600.0) == 60000
+
+    def test_rejects_negative(self):
+        with pytest.raises(NumerologyError):
+            frames_elapsed(-1.0)

@@ -1,0 +1,116 @@
+"""Tests for the coded PDSCH transport-block chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.pdsch import (
+    MAX_SEGMENT_PAYLOAD_BITS,
+    PdschError,
+    PdschGeometry,
+    SEGMENT_E_BITS,
+    decode_pdsch_transport_block,
+    encode_pdsch_transport_block,
+)
+from repro.rrc.messages import RrcSetup
+
+
+def rrc_setup_bits():
+    return RrcSetup(tc_rnti=0x4601).encode()
+
+
+class TestGeometry:
+    def test_small_payload_one_segment(self):
+        geometry = PdschGeometry.for_payload(100)
+        assert geometry.n_segments == 1
+        assert geometry.coded_bits == SEGMENT_E_BITS
+        assert geometry.n_symbols == SEGMENT_E_BITS // 2
+
+    def test_rrc_setup_scale(self):
+        # 500 bytes = 4000 bits: ~16 segments of coded PDSCH.
+        geometry = PdschGeometry.for_payload(4000)
+        expected = -(-(4000 + 24) // MAX_SEGMENT_PAYLOAD_BITS)
+        assert geometry.n_segments == expected
+
+    def test_higher_modulation_fewer_symbols(self):
+        qpsk = PdschGeometry.for_payload(1000, "QPSK")
+        qam256 = PdschGeometry.for_payload(1000, "256QAM")
+        assert qam256.n_symbols == qpsk.n_symbols // 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(PdschError):
+            PdschGeometry.for_payload(0)
+
+
+class TestRoundtrip:
+    def test_clean_roundtrip_rrc_setup(self):
+        payload = rrc_setup_bits()
+        symbols = encode_pdsch_transport_block(payload, 0x4601, 500)
+        decoded = decode_pdsch_transport_block(
+            symbols, payload.size, 0x4601, 500, noise_var=1e-4)
+        assert np.array_equal(decoded, payload)
+
+    def test_multi_segment_roundtrip(self, rng):
+        # A 500-byte RRC Setup body (the paper's size).
+        payload = rng.integers(0, 2, 4000).astype(np.uint8)
+        symbols = encode_pdsch_transport_block(payload, 0x17, 3)
+        decoded = decode_pdsch_transport_block(symbols, 4000, 0x17, 3,
+                                               1e-4)
+        assert np.array_equal(decoded, payload)
+
+    def test_roundtrip_256qam(self, rng):
+        payload = rng.integers(0, 2, 1200).astype(np.uint8)
+        symbols = encode_pdsch_transport_block(payload, 0x17, 3,
+                                               modulation="256QAM")
+        decoded = decode_pdsch_transport_block(symbols, 1200, 0x17, 3,
+                                               1e-3, modulation="256QAM")
+        assert np.array_equal(decoded, payload)
+
+    def test_wrong_rnti_rejected(self):
+        payload = rrc_setup_bits()
+        symbols = encode_pdsch_transport_block(payload, 0x4601, 500)
+        assert decode_pdsch_transport_block(
+            symbols, payload.size, 0x4602, 500, 1e-4) is None
+
+    def test_noise_failure_is_clean_none(self, rng):
+        payload = rrc_setup_bits()
+        symbols = encode_pdsch_transport_block(payload, 0x4601, 500)
+        # Destroy the signal entirely.
+        noise = rng.normal(0, 3, symbols.size) \
+            + 1j * rng.normal(0, 3, symbols.size)
+        assert decode_pdsch_transport_block(
+            symbols + noise, payload.size, 0x4601, 500, 9.0) is None
+
+    def test_decodes_at_moderate_snr(self, rng):
+        payload = rrc_setup_bits()
+        hits = 0
+        for _ in range(8):
+            symbols = encode_pdsch_transport_block(payload, 0x4601, 500)
+            noise_var = 10 ** (-2 / 10)  # 2 dB
+            noisy = symbols + rng.normal(0, np.sqrt(noise_var / 2),
+                                         symbols.size) \
+                + 1j * rng.normal(0, np.sqrt(noise_var / 2),
+                                  symbols.size)
+            decoded = decode_pdsch_transport_block(
+                noisy, payload.size, 0x4601, 500, noise_var)
+            hits += decoded is not None and np.array_equal(decoded,
+                                                           payload)
+        assert hits >= 7
+
+    def test_short_grant_rejected(self):
+        payload = rrc_setup_bits()
+        symbols = encode_pdsch_transport_block(payload, 1, 1)
+        with pytest.raises(PdschError):
+            decode_pdsch_transport_block(symbols[:-10], payload.size, 1,
+                                         1, 0.1)
+
+    @given(st.integers(0, 2**16), st.integers(50, 600))
+    @settings(max_examples=10, deadline=None)
+    def test_property_roundtrip_random_sizes(self, seed, n_bits):
+        local = np.random.default_rng(seed)
+        payload = local.integers(0, 2, n_bits).astype(np.uint8)
+        symbols = encode_pdsch_transport_block(payload, 0x1234, 42)
+        decoded = decode_pdsch_transport_block(symbols, n_bits, 0x1234,
+                                               42, 1e-4)
+        assert np.array_equal(decoded, payload)

@@ -1,0 +1,148 @@
+"""Tests for PRACH preambles and the contention-based RACH."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnb.rach import RachProcedure, RachState
+from repro.phy.prach import (
+    N_PREAMBLES,
+    PREAMBLE_LEN,
+    PrachConfig,
+    PrachError,
+    detect_preambles,
+    generate_preamble,
+    zadoff_chu_root,
+)
+
+
+class TestZadoffChu:
+    def test_unit_magnitude(self):
+        for root in (1, 5, 77, 138):
+            seq = zadoff_chu_root(root)
+            assert np.allclose(np.abs(seq), 1.0)
+
+    def test_perfect_autocorrelation(self):
+        """ZC sequences have ideal cyclic autocorrelation: a delta."""
+        seq = zadoff_chu_root(7)
+        corr = np.fft.ifft(np.fft.fft(seq) * np.fft.fft(seq).conj())
+        assert abs(corr[0]) == pytest.approx(PREAMBLE_LEN)
+        assert np.max(np.abs(corr[1:])) < 1e-9
+
+    def test_low_cross_correlation_between_roots(self):
+        a, b = zadoff_chu_root(3), zadoff_chu_root(4)
+        corr = np.fft.ifft(np.fft.fft(a) * np.fft.fft(b).conj())
+        # Prime-length ZC cross-correlation is exactly sqrt(L).
+        assert np.allclose(np.abs(corr), np.sqrt(PREAMBLE_LEN), atol=1e-9)
+
+    def test_root_range(self):
+        with pytest.raises(PrachError):
+            zadoff_chu_root(0)
+        with pytest.raises(PrachError):
+            zadoff_chu_root(PREAMBLE_LEN)
+
+
+class TestPreambleNumbering:
+    def test_all_64_distinct(self):
+        seqs = {tuple(np.round(generate_preamble(i), 9))
+                for i in range(N_PREAMBLES)}
+        assert len(seqs) == N_PREAMBLES
+
+    def test_shift_structure(self):
+        config = PrachConfig(n_shifts_per_root=8, n_cs=17)
+        root0, shift0 = config.preamble_to_root_shift(0)
+        root1, shift1 = config.preamble_to_root_shift(1)
+        root8, _ = config.preamble_to_root_shift(8)
+        assert root0 == root1
+        assert shift1 - shift0 == 17
+        assert root8 == root0 + 1
+
+    def test_validation(self):
+        with pytest.raises(PrachError):
+            PrachConfig(n_shifts_per_root=0)
+        with pytest.raises(PrachError):
+            PrachConfig(n_shifts_per_root=10, n_cs=17)
+        with pytest.raises(PrachError):
+            generate_preamble(64)
+
+
+class TestDetection:
+    @given(st.integers(0, N_PREAMBLES - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_clean_detection(self, index):
+        detections = detect_preambles(generate_preamble(index))
+        assert detections
+        assert detections[0].index == index
+        assert detections[0].metric == pytest.approx(1.0, abs=1e-6)
+
+    def test_superposed_preambles_both_detected(self):
+        mix = generate_preamble(3) + generate_preamble(40)
+        found = {d.index for d in detect_preambles(mix)}
+        assert {3, 40} <= found
+
+    def test_noise_only_no_detection(self, rng):
+        for _ in range(5):
+            noise = rng.normal(0, 1, PREAMBLE_LEN) \
+                + 1j * rng.normal(0, 1, PREAMBLE_LEN)
+            assert detect_preambles(noise) == []
+
+    def test_detection_at_low_snr(self, rng):
+        hits = 0
+        for _ in range(10):
+            noisy = generate_preamble(10) \
+                + rng.normal(0, np.sqrt(0.5), PREAMBLE_LEN) \
+                + 1j * rng.normal(0, np.sqrt(0.5), PREAMBLE_LEN)
+            detections = detect_preambles(noisy)
+            hits += bool(detections) and detections[0].index == 10
+        assert hits >= 9
+
+    def test_validation(self):
+        with pytest.raises(PrachError):
+            detect_preambles(np.zeros(10, dtype=complex))
+        with pytest.raises(PrachError):
+            detect_preambles(np.zeros(PREAMBLE_LEN, dtype=complex),
+                             threshold=0.0)
+
+    def test_silence_is_empty(self):
+        assert detect_preambles(
+            np.zeros(PREAMBLE_LEN, dtype=complex)) == []
+
+
+class TestContention:
+    def test_collisions_back_off_and_retry(self):
+        procedure = RachProcedure(seed=3)
+        for ue in range(32):
+            procedure.request_connection(ue, 0)
+        events = []
+        for slot in range(400):
+            events.extend(procedure.step(slot))
+        assert procedure.completed == 32
+        assert len(events) == 32
+        # With 32 UEs drawing from 64 preambles, collisions are near
+        # certain (birthday bound).
+        assert procedure.collisions > 0
+
+    def test_lone_ue_never_collides(self):
+        procedure = RachProcedure(seed=4)
+        procedure.request_connection(0, 0)
+        for slot in range(30):
+            procedure.step(slot)
+        assert procedure.completed == 1
+        assert procedure.collisions == 0
+
+    def test_collided_attempt_keeps_waiting_state(self):
+        procedure = RachProcedure(seed=5)
+        # Force a collision by flooding one occasion.
+        for ue in range(64):
+            procedure.request_connection(ue, 0)
+        procedure.step(0)
+        waiting = [a for a in procedure._attempts.values()
+                   if a.state is RachState.WAITING_OCCASION]
+        sent = [a for a in procedure._attempts.values()
+                if a.state is RachState.MSG1_SENT]
+        assert waiting, "some UEs must have collided"
+        assert sent, "some UEs must have won their preamble"
+        for attempt in waiting:
+            assert attempt.collisions >= 1
+            assert attempt.next_action_slot > 0

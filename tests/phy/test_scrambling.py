@@ -1,0 +1,96 @@
+"""Tests for repro.phy.scrambling: Gold sequences and channel seeds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.scrambling import (
+    ScramblingError,
+    clear_sequence_cache,
+    gold_sequence,
+    pdcch_scrambling_init,
+    pdsch_scrambling_init,
+    scramble_bits,
+)
+
+
+class TestGoldSequence:
+    def test_deterministic(self):
+        a = gold_sequence(12345, 100)
+        b = gold_sequence(12345, 100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gold_sequence(1, 200)
+        b = gold_sequence(2, 200)
+        assert not np.array_equal(a, b)
+
+    def test_prefix_consistency_with_cache(self):
+        clear_sequence_cache()
+        long = gold_sequence(777, 500)
+        short = gold_sequence(777, 100)
+        assert np.array_equal(long[:100], short)
+
+    def test_roughly_balanced(self):
+        # A scrambling sequence must look random: ~50% ones.
+        seq = gold_sequence(0x5AD, 10000)
+        assert 0.45 < seq.mean() < 0.55
+
+    def test_low_autocorrelation(self):
+        seq = gold_sequence(0xBEEF, 4096).astype(float) * 2 - 1
+        shifted = np.roll(seq, 31)
+        assert abs(np.mean(seq * shifted)) < 0.1
+
+    def test_zero_length(self):
+        assert gold_sequence(1, 0).size == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ScramblingError):
+            gold_sequence(1, -1)
+        with pytest.raises(ScramblingError):
+            gold_sequence(1 << 31, 10)
+
+
+class TestInits:
+    def test_pdcch_init_formula(self):
+        assert pdcch_scrambling_init(500) == 500
+        assert pdcch_scrambling_init(500, 0x4296) == ((0x4296 << 16) + 500)
+
+    def test_pdcch_init_range_checks(self):
+        with pytest.raises(ScramblingError):
+            pdcch_scrambling_init(1 << 16)
+        with pytest.raises(ScramblingError):
+            pdcch_scrambling_init(0, 1 << 16)
+
+    def test_pdsch_init_distinct_per_codeword(self):
+        a = pdsch_scrambling_init(0x17, 0, 500)
+        b = pdsch_scrambling_init(0x17, 1, 500)
+        assert a != b
+
+    def test_pdsch_rejects_bad_codeword(self):
+        with pytest.raises(ScramblingError):
+            pdsch_scrambling_init(1, 2, 500)
+
+
+class TestScrambleBits:
+    def test_involution(self, rng):
+        bits = rng.integers(0, 2, 333).astype(np.uint8)
+        once = scramble_bits(bits, 999)
+        assert np.array_equal(scramble_bits(once, 999), bits)
+
+    def test_changes_bits(self, rng):
+        bits = np.zeros(200, dtype=np.uint8)
+        scrambled = scramble_bits(bits, 4321)
+        assert scrambled.sum() > 50
+
+    def test_rejects_2d(self):
+        with pytest.raises(ScramblingError):
+            scramble_bits(np.zeros((2, 3), dtype=np.uint8), 1)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_property_involution(self, c_init, length):
+        bits = (np.arange(length) % 2).astype(np.uint8)
+        assert np.array_equal(
+            scramble_bits(scramble_bits(bits, c_init), c_init), bits)

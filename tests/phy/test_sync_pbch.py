@@ -1,0 +1,153 @@
+"""Tests for PSS/SSS synchronisation and the PBCH chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.pbch import PBCH_N_SYMBOLS, PbchError, decode_pbch, \
+    encode_pbch
+from repro.phy.sync import (
+    FrameSynchronizer,
+    MAX_CELL_ID,
+    SYNC_SEQUENCE_LEN,
+    SyncError,
+    cell_id_to_components,
+    components_to_cell_id,
+    pss_sequence,
+    render_ssb,
+    sss_sequence,
+)
+from repro.rrc.messages import Mib
+
+
+class TestSequences:
+    def test_pss_is_bpsk_127(self):
+        for n_id2 in range(3):
+            seq = pss_sequence(n_id2)
+            assert seq.size == SYNC_SEQUENCE_LEN
+            assert set(np.unique(seq)) == {-1.0, 1.0}
+
+    def test_pss_cross_correlation_low(self):
+        for a in range(3):
+            for b in range(3):
+                corr = abs(np.dot(pss_sequence(a), pss_sequence(b))) / 127
+                if a == b:
+                    assert corr == pytest.approx(1.0)
+                else:
+                    assert corr < 0.1
+
+    def test_sss_distinct_per_identity(self):
+        seen = set()
+        for n_id1 in (0, 1, 111, 112, 335):
+            for n_id2 in range(3):
+                seen.add(tuple(sss_sequence(n_id1, n_id2)))
+        assert len(seen) == 15
+
+    def test_identity_roundtrip(self):
+        for cell_id in (0, 1, 2, 3, 500, MAX_CELL_ID):
+            n_id1, n_id2 = cell_id_to_components(cell_id)
+            assert components_to_cell_id(n_id1, n_id2) == cell_id
+
+    def test_range_checks(self):
+        with pytest.raises(SyncError):
+            pss_sequence(3)
+        with pytest.raises(SyncError):
+            sss_sequence(336, 0)
+        with pytest.raises(SyncError):
+            cell_id_to_components(MAX_CELL_ID + 1)
+
+
+class TestFrameSynchronizer:
+    def test_clean_detection(self):
+        sync = FrameSynchronizer()
+        burst = render_ssb(cell_id=700, pad_before=250, pad_after=100)
+        result = sync.search(burst.samples)
+        assert result is not None
+        assert result.cell_id == 700
+        assert result.sample_offset == 250
+        assert result.confident
+
+    def test_detection_under_noise(self, rng):
+        sync = FrameSynchronizer()
+        hits = 0
+        for _ in range(10):
+            burst = render_ssb(cell_id=42, pad_before=400, pad_after=400)
+            noise = rng.normal(0, np.sqrt(0.5), burst.samples.size) \
+                + 1j * rng.normal(0, np.sqrt(0.5), burst.samples.size)
+            result = sync.search(burst.samples + noise)  # 0 dB
+            hits += result is not None and result.cell_id == 42
+        assert hits >= 8
+
+    def test_no_false_detection_on_noise(self, rng):
+        sync = FrameSynchronizer()
+        detections = 0
+        for _ in range(10):
+            noise = rng.normal(0, 1, 1500) + 1j * rng.normal(0, 1, 1500)
+            detections += sync.search(noise) is not None
+        assert detections == 0
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(SyncError):
+            FrameSynchronizer().search(np.zeros(100, dtype=complex))
+
+    def test_bad_threshold(self):
+        with pytest.raises(SyncError):
+            FrameSynchronizer(detection_threshold=1.5)
+
+    @given(st.integers(0, MAX_CELL_ID))
+    @settings(max_examples=15, deadline=None)
+    def test_property_any_cell_id_detected(self, cell_id):
+        burst = render_ssb(cell_id, pad_before=64, pad_after=64)
+        result = FrameSynchronizer().search(burst.samples)
+        assert result is not None and result.cell_id == cell_id
+
+
+class TestPbch:
+    def _payload(self):
+        return Mib(sfn=321, scs_common_khz=30, ssb_subcarrier_offset=0,
+                   dmrs_typea_position=2, coreset0_index=5,
+                   search_space0_index=0).encode()
+
+    def test_clean_roundtrip(self):
+        payload = self._payload()
+        symbols = encode_pbch(payload, cell_id=500)
+        assert symbols.size == PBCH_N_SYMBOLS
+        decoded = decode_pbch(symbols, payload.size, 500, noise_var=1e-4)
+        assert np.array_equal(decoded, payload)
+
+    def test_wrong_cell_id_rejected(self):
+        payload = self._payload()
+        symbols = encode_pbch(payload, cell_id=500)
+        assert decode_pbch(symbols, payload.size, 501, 1e-4) is None
+
+    def test_noise_roundtrip_at_low_snr(self, rng):
+        # E=864 for ~57 bits is a very low-rate code: decodes well below
+        # 0 dB, which is why MIB acquisition outranges the PDCCH.
+        payload = self._payload()
+        symbols = encode_pbch(payload, cell_id=3)
+        noise_var = 10 ** (4 / 10)  # -4 dB SNR
+        hits = 0
+        for _ in range(10):
+            noisy = symbols + rng.normal(0, np.sqrt(noise_var / 2),
+                                         symbols.size) \
+                + 1j * rng.normal(0, np.sqrt(noise_var / 2), symbols.size)
+            decoded = decode_pbch(noisy, payload.size, 3, noise_var)
+            hits += decoded is not None and np.array_equal(decoded,
+                                                           payload)
+        assert hits >= 8
+
+    def test_garbage_never_passes_crc(self, rng):
+        payload = self._payload()
+        for _ in range(10):
+            noise = (rng.normal(0, 1, PBCH_N_SYMBOLS)
+                     + 1j * rng.normal(0, 1, PBCH_N_SYMBOLS))
+            assert decode_pbch(noise, payload.size, 7, 1.0) is None
+
+    def test_validation(self):
+        with pytest.raises(PbchError):
+            encode_pbch(np.zeros(0, dtype=np.uint8), 1)
+        with pytest.raises(PbchError):
+            encode_pbch(np.zeros(65, dtype=np.uint8), 1)
+        with pytest.raises(PbchError):
+            decode_pbch(np.zeros(10, dtype=complex), 33, 1, 0.1)

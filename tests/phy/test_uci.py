@@ -1,0 +1,154 @@
+"""Tests for UCI coding (repetition / small block / polar regimes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.uci import (
+    SMALL_BLOCK_N,
+    UCI_POLAR_E,
+    UciError,
+    UciReport,
+    _small_block_generator,
+    decode_small_block,
+    decode_uci,
+    encode_small_block,
+    encode_uci,
+)
+
+
+def bits_to_llrs(coded, scale=6.0):
+    return (1.0 - 2.0 * np.asarray(coded, dtype=float)) * scale
+
+
+class TestSmallBlockCode:
+    def test_generator_shape_and_rank(self):
+        generator = _small_block_generator()
+        assert generator.shape == (32, 11)
+        # Full rank over GF(2): all 2^11 codewords distinct.
+        messages = np.arange(1 << 11)
+        bits = ((messages[:, None] >> np.arange(11)[None, :]) & 1) \
+            .astype(np.uint8)
+        codewords = (bits @ generator.T) % 2
+        packed = np.packbits(codewords, axis=1)
+        assert len({bytes(row) for row in packed}) == 1 << 11
+
+    def test_minimum_distance_reasonable(self):
+        # Pairwise distance = weight of nonzero codewords; a usable
+        # (32, 11) code needs minimum distance comfortably above 1.
+        generator = _small_block_generator()
+        messages = np.arange(1, 1 << 11)
+        bits = ((messages[:, None] >> np.arange(11)[None, :]) & 1) \
+            .astype(np.uint8)
+        weights = ((bits @ generator.T) % 2).sum(axis=1)
+        assert weights.min() >= 6
+
+    def test_roundtrip_all_sizes(self, rng):
+        for k in range(3, 12):
+            payload = rng.integers(0, 2, k).astype(np.uint8)
+            coded = encode_small_block(payload)
+            assert coded.size == SMALL_BLOCK_N
+            assert np.array_equal(
+                decode_small_block(bits_to_llrs(coded), k), payload)
+
+    def test_corrects_errors(self, rng):
+        payload = rng.integers(0, 2, 8).astype(np.uint8)
+        coded = encode_small_block(payload).astype(float)
+        llrs = bits_to_llrs(coded)
+        llrs[[3, 17]] *= -1  # two hard flips
+        assert np.array_equal(decode_small_block(llrs, 8), payload)
+
+    def test_size_validation(self):
+        with pytest.raises(UciError):
+            encode_small_block(np.zeros(2, dtype=np.uint8))
+        with pytest.raises(UciError):
+            decode_small_block(np.zeros(10), 5)
+
+
+class TestEncodeDecodeUci:
+    @pytest.mark.parametrize("k", [1, 2, 5, 11])
+    def test_roundtrip_small(self, k, rng):
+        payload = rng.integers(0, 2, k).astype(np.uint8)
+        coded = encode_uci(payload)
+        assert np.array_equal(decode_uci(bits_to_llrs(coded), k), payload)
+
+    def test_roundtrip_polar_regime(self, rng):
+        payload = rng.integers(0, 2, 20).astype(np.uint8)
+        coded = encode_uci(payload)
+        assert coded.size == UCI_POLAR_E
+        assert np.array_equal(decode_uci(bits_to_llrs(coded), 20),
+                              payload)
+
+    def test_polar_regime_crc_gates_noise(self, rng):
+        rejections = 0
+        for _ in range(10):
+            llrs = rng.normal(0, 1, UCI_POLAR_E)
+            rejections += decode_uci(llrs, 20) is None
+        assert rejections >= 9
+
+    def test_repetition_majority_vote(self):
+        coded = encode_uci(np.array([1], dtype=np.uint8)).astype(float)
+        llrs = bits_to_llrs(coded)
+        llrs[:10] *= -1  # 10 of 32 copies corrupted
+        assert decode_uci(llrs, 1)[0] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(UciError):
+            encode_uci(np.zeros(0, dtype=np.uint8))
+        with pytest.raises(UciError):
+            decode_uci(np.zeros(32), 0)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_noisy_small_block(self, seed):
+        local = np.random.default_rng(seed)
+        payload = local.integers(0, 2, 11).astype(np.uint8)
+        coded = encode_uci(payload).astype(float)
+        noise_var = 0.5  # 3 dB
+        llrs = 2 * ((1 - 2 * coded)
+                    + local.normal(0, np.sqrt(noise_var), coded.size)) \
+            / noise_var
+        decoded = decode_uci(llrs, 11)
+        # ML decoding at 3 dB: essentially always right.
+        assert np.array_equal(decoded, payload)
+
+
+class TestUciReport:
+    def test_roundtrip_full(self):
+        report = UciReport(rnti=0x4601, slot_index=7,
+                           harq_ack=(1, 0, 1), scheduling_request=True,
+                           cqi=12)
+        bits = report.to_bits()
+        assert bits.size == UciReport.REPORT_BITS
+        assert UciReport.from_bits(bits, 0x4601, 7) == report
+
+    def test_roundtrip_minimal(self):
+        report = UciReport(rnti=1, slot_index=0)
+        assert UciReport.from_bits(report.to_bits(), 1, 0) == report
+
+    def test_roundtrip_sr_only(self):
+        report = UciReport(rnti=1, slot_index=0,
+                           scheduling_request=True)
+        decoded = UciReport.from_bits(report.to_bits(), 1, 0)
+        assert decoded.scheduling_request
+        assert decoded.cqi is None
+        assert decoded.harq_ack == ()
+
+    def test_over_the_air_roundtrip(self, rng):
+        report = UciReport(rnti=9, slot_index=3, harq_ack=(1,),
+                           cqi=7)
+        coded = encode_uci(report.to_bits())
+        llrs = bits_to_llrs(coded) \
+            + rng.normal(0, 1.0, coded.size)
+        decoded_bits = decode_uci(llrs, UciReport.REPORT_BITS)
+        assert UciReport.from_bits(decoded_bits, 9, 3) == report
+
+    def test_validation(self):
+        with pytest.raises(UciError):
+            UciReport(rnti=1, slot_index=0, harq_ack=(1, 1, 1, 1)) \
+                .to_bits()
+        with pytest.raises(UciError):
+            UciReport(rnti=1, slot_index=0, cqi=16).to_bits()
+        with pytest.raises(UciError):
+            UciReport.from_bits(np.zeros(5, dtype=np.uint8), 1, 0)

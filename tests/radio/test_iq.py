@@ -1,0 +1,86 @@
+"""Tests for the virtual USRP front end: AGC, resampling, capture."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ofdm import OfdmConfig
+from repro.phy.resource_grid import ResourceGrid
+from repro.radio.iq import AutomaticGainControl, FrontEndError, \
+    VirtualUsrp, resample
+from repro.radio.medium import Link
+
+
+class TestAgc:
+    def test_converges_to_target(self):
+        agc = AutomaticGainControl(target_rms=1.0, smoothing=0.5)
+        samples = 0.01 * np.ones(1000, dtype=complex)
+        for _ in range(20):
+            out = agc.process(samples)
+        rms = np.sqrt(np.mean(np.abs(out) ** 2))
+        assert rms == pytest.approx(1.0, rel=0.05)
+
+    def test_silence_keeps_gain(self):
+        agc = AutomaticGainControl()
+        agc.gain = 3.0
+        agc.process(np.zeros(100, dtype=complex))
+        assert agc.gain == 3.0
+
+
+class TestResample:
+    def test_identity(self, rng):
+        samples = rng.normal(size=100) + 1j * rng.normal(size=100)
+        assert np.array_equal(resample(samples, 1.0), samples)
+
+    def test_length_scales(self, rng):
+        samples = rng.normal(size=1000) + 0j
+        assert resample(samples, 2.0).size == 2000
+        assert resample(samples, 0.5).size == 500
+
+    def test_roundtrip_preserves_smooth_signal(self):
+        t = np.linspace(0, 1, 2000)
+        tone = np.exp(2j * np.pi * 5 * t)
+        back = resample(resample(tone, 1.5), 1 / 1.5)[:2000]
+        assert np.max(np.abs(back[:1900] - tone[:1900])) < 0.05
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(FrontEndError):
+            resample(np.zeros(4, dtype=complex), 0.0)
+
+
+class TestVirtualUsrp:
+    def make(self, snr_db=20.0, n_prb=20, **kwargs):
+        return VirtualUsrp(link=Link(snr_db=snr_db),
+                           ofdm=OfdmConfig.for_grid(n_prb * 12), **kwargs)
+
+    def test_grid_capture_adds_noise(self, rng):
+        usrp = self.make(snr_db=0.0)
+        grid = ResourceGrid(20)
+        captured = usrp.capture_grid(grid)
+        power = np.mean(np.abs(captured.data) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+    def test_iq_capture_roundtrip_high_snr(self, rng):
+        usrp = self.make(snr_db=45.0)
+        grid = ResourceGrid(20)
+        grid.data[:] = (rng.normal(size=grid.data.shape)
+                        + 1j * rng.normal(size=grid.data.shape)) / np.sqrt(2)
+        captured = usrp.capture_iq(grid)
+        error = np.mean(np.abs(captured.data - grid.data) ** 2)
+        assert error < 0.01
+
+    def test_iq_capture_with_resampler(self, rng):
+        usrp = self.make(snr_db=45.0, resample_ratio=1.25)
+        grid = ResourceGrid(20)
+        grid.data[:, :] = 1.0
+        captured = usrp.capture_iq(grid)
+        # Linear resampling loses some fidelity but the grid must still
+        # be clearly recovered.
+        assert np.mean(np.abs(captured.data - grid.data) ** 2) < 0.2
+
+    def test_geometry_mismatch_rejected(self):
+        usrp = self.make(n_prb=20)
+        with pytest.raises(FrontEndError):
+            usrp.capture_iq(ResourceGrid(10))
+
+    def test_noise_variance_matches_link(self):
+        assert self.make(snr_db=10.0).noise_variance == pytest.approx(0.1)

@@ -1,0 +1,72 @@
+"""Tests for the RRC bit codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rrc.codec import BitReader, BitWriter, CodecError
+
+
+class TestBitWriter:
+    def test_msb_first(self):
+        bits = BitWriter().write(0b101, 3).to_bits()
+        assert list(bits) == [1, 0, 1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CodecError):
+            BitWriter().write(4, 2)
+        with pytest.raises(CodecError):
+            BitWriter().write(-1, 4)
+
+    def test_signed_range(self):
+        writer = BitWriter().write_signed(-110, 9)
+        assert BitReader(writer.to_bits()).read_signed(9) == -110
+        with pytest.raises(CodecError):
+            BitWriter().write_signed(256, 9)
+
+    def test_bool(self):
+        bits = BitWriter().write_bool(True).write_bool(False).to_bits()
+        assert list(bits) == [1, 0]
+
+    def test_bytes_padding(self):
+        data = BitWriter().write(0xFF, 8).write(1, 1).to_bytes_padded()
+        assert data == bytes([0xFF, 0x80])
+
+    def test_bit_count(self):
+        writer = BitWriter().write(0, 5).write(1, 3)
+        assert writer.bit_count == 8
+
+
+class TestBitReader:
+    def test_reads_from_bytes(self):
+        reader = BitReader(bytes([0b10110000]))
+        assert reader.read(4) == 0b1011
+
+    def test_truncation_detected(self):
+        reader = BitReader(np.array([1, 0, 1], dtype=np.uint8))
+        with pytest.raises(CodecError):
+            reader.read(4)
+
+    def test_remaining(self):
+        reader = BitReader(np.zeros(10, dtype=np.uint8))
+        reader.read(3)
+        assert reader.remaining == 7
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(CodecError):
+            BitReader(np.array([0, 3], dtype=np.uint8))
+
+    @given(st.lists(st.tuples(st.integers(1, 24), st.data()), min_size=1,
+                    max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_write_read_roundtrip(self, specs):
+        writer = BitWriter()
+        expected = []
+        for width, data in specs:
+            value = data.draw(st.integers(0, (1 << width) - 1))
+            writer.write(value, width)
+            expected.append((value, width))
+        reader = BitReader(writer.to_bits())
+        for value, width in expected:
+            assert reader.read(width) == value

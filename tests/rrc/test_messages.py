@@ -1,0 +1,149 @@
+"""Tests for the RRC message set: roundtrips and semantic helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rrc.codec import BitReader, CodecError
+from repro.rrc.messages import (
+    Mib,
+    RachConfig,
+    RrcRelease,
+    RrcSetup,
+    SearchSpaceConfig,
+    Sib1,
+    TddConfig,
+    decode_message,
+)
+
+
+def make_mib(**overrides):
+    base = dict(sfn=123, scs_common_khz=30, ssb_subcarrier_offset=0,
+                dmrs_typea_position=2, coreset0_index=5,
+                search_space0_index=0)
+    base.update(overrides)
+    return Mib(**base)
+
+
+def make_sib1(**overrides):
+    base = dict(cell_identity=0x123456789, n_prb_carrier=51, scs_khz=30,
+                is_tdd=True)
+    base.update(overrides)
+    return Sib1(**base)
+
+
+class TestMib:
+    def test_roundtrip(self):
+        mib = make_mib()
+        assert decode_message(mib.encode()) == mib
+
+    def test_sfn_range(self):
+        for sfn in (0, 511, 1023):
+            assert decode_message(make_mib(sfn=sfn).encode()).sfn == sfn
+
+    def test_barred_flag(self):
+        mib = make_mib(cell_barred=True)
+        assert decode_message(mib.encode()).cell_barred
+
+
+class TestSib1:
+    def test_roundtrip_default(self):
+        sib1 = make_sib1()
+        assert decode_message(sib1.encode()) == sib1
+
+    def test_roundtrip_fdd_15khz(self):
+        # T-Mobile profile shape: FDD, 15 kHz, 52 PRB.
+        sib1 = make_sib1(scs_khz=15, is_tdd=False, n_prb_carrier=52,
+                         initial_bwp_id=1)
+        decoded = decode_message(sib1.encode())
+        assert decoded == sib1
+        assert decoded.initial_bwp_id == 1
+
+    def test_rach_config_roundtrip(self):
+        rach = RachConfig(prach_config_index=160, msg1_frequency_start=2,
+                          preamble_received_target_power_dbm=-100,
+                          ra_response_window_slots=10, msg1_scs_khz=15)
+        sib1 = make_sib1(rach=rach)
+        assert decode_message(sib1.encode()).rach == rach
+
+
+class TestTddConfig:
+    def test_pattern_semantics(self):
+        tdd = TddConfig(period_slots=10, n_dl_slots=7, n_ul_slots=2)
+        assert [tdd.is_downlink(s) for s in range(10)] == \
+            [True] * 7 + [False] * 3
+        assert [tdd.is_uplink(s) for s in range(10)] == \
+            [False] * 8 + [True] * 2
+
+    def test_pattern_wraps(self):
+        tdd = TddConfig()
+        assert tdd.is_downlink(10) == tdd.is_downlink(0)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(CodecError):
+            TddConfig(period_slots=10, n_dl_slots=9, n_ul_slots=2)
+
+    @given(st.integers(2, 63), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_every_slot_classified(self, period, data):
+        n_dl = data.draw(st.integers(0, period))
+        n_ul = data.draw(st.integers(0, period - n_dl))
+        tdd = TddConfig(period_slots=period, n_dl_slots=n_dl,
+                        n_ul_slots=n_ul)
+        for s in range(period):
+            # A slot is never both DL and UL.
+            assert not (tdd.is_downlink(s) and tdd.is_uplink(s))
+
+
+class TestRrcSetup:
+    def test_roundtrip_default(self):
+        setup = RrcSetup(tc_rnti=0x4601)
+        assert decode_message(setup.encode()) == setup
+
+    def test_roundtrip_rich(self):
+        setup = RrcSetup(
+            tc_rnti=0x4601,
+            search_space=SearchSpaceConfig(coreset_id=2, coreset_first_prb=4,
+                                           coreset_n_prb=24,
+                                           coreset_n_symbols=2,
+                                           interleaved=False,
+                                           n_candidates_al2=4),
+            mcs_table="qam256", max_mimo_layers=2, dmrs_add_position=1,
+            xoverhead=2, bwp_id=1)
+        decoded = decode_message(setup.encode())
+        assert decoded == setup
+        assert decoded.search_space.candidates_per_level()[2] == 4
+
+    def test_dmrs_overhead_mapping(self):
+        assert RrcSetup(tc_rnti=1).n_dmrs_res_per_prb == 12
+        assert RrcSetup(tc_rnti=1, dmrs_add_position=1) \
+            .n_dmrs_res_per_prb == 24
+        assert RrcSetup(tc_rnti=1, xoverhead=3).xoverhead_res == 18
+
+    def test_identical_setups_encode_identically(self):
+        """The paper exploits RRC Setup being identical across UEs to skip
+        re-decoding (section 3.1.2); identical configs must produce
+        identical bits apart from the TC-RNTI field."""
+        a = RrcSetup(tc_rnti=0x1000).encode()
+        b = RrcSetup(tc_rnti=0x1000).encode()
+        assert (a == b).all()
+
+
+class TestDispatch:
+    def test_release_roundtrip(self):
+        release = RrcRelease(rnti=0x1234)
+        assert decode_message(release.encode()) == release
+
+    def test_unknown_tag(self):
+        from repro.rrc.codec import BitWriter
+        bits = BitWriter().write(0x3F, 6).write(0, 16).to_bits()
+        with pytest.raises(CodecError):
+            decode_message(bits)
+
+    def test_decode_from_padded_bytes(self):
+        mib = make_mib()
+        from repro.rrc.codec import BitWriter
+        writer = BitWriter()
+        for bit in mib.encode():
+            writer.write(int(bit), 1)
+        assert decode_message(writer.to_bytes_padded()) == mib

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCells:
+    def test_lists_all_profiles(self, capsys):
+        assert main(["cells"]) == 0
+        out = capsys.readouterr().out
+        for name in ("srsran", "mosolab", "amarisoft", "tmobile-n25",
+                     "tmobile-n71"):
+            assert name in out
+
+
+class TestSniff:
+    def test_basic_session(self, capsys):
+        assert main(["sniff", "--seconds", "0.5", "--ues", "1",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cell srsran" in out
+        assert "UE 0x" in out
+        assert "Mbps DL" in out
+
+    def test_profile_selection(self, capsys):
+        assert main(["sniff", "--profile", "tmobile-n25",
+                     "--seconds", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "FDD" in out
+
+    def test_report_flag(self, capsys):
+        assert main(["sniff", "--seconds", "0.5", "--ues", "2",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry session" in out
+        assert "Per-UE telemetry" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.jsonl"
+        assert main(["sniff", "--seconds", "0.5", "--json",
+                     str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert "rnti" in record and "tbs_bits" in record
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["sniff", "--profile", "fantasy"])
+
+
+class TestFigure:
+    def test_fig10(self, capsys):
+        assert main(["figure", "fig10"]) == 0
+        assert "active time" in capsys.readouterr().out
+
+    def test_fig11(self, capsys):
+        assert main(["figure", "fig11"]) == 0
+        assert "per second" in capsys.readouterr().out
+
+    def test_quick_fig7(self, capsys):
+        assert main(["figure", "fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 7a" in out and "Fig 7b" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestSurvey:
+    def test_survey_stats(self, capsys):
+        assert main(["survey", "--seconds", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct UEs" in out
+        assert "p90" in out

@@ -1,0 +1,82 @@
+"""Tests for the mobility scenarios (static/moving/blocked)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.medium import Position
+from repro.ue.mobility import (
+    BlockedUe,
+    MobilityError,
+    MovingUe,
+    StaticUe,
+    scenario,
+)
+
+SLOT_S = 0.5e-3
+
+
+class TestStatic:
+    def test_no_adjustment_ever(self):
+        model = StaticUe()
+        assert all(model.step(i) == 0.0 for i in range(100))
+        assert model.name == "static"
+
+
+class TestMoving:
+    def make(self, speed=1.4, range_m=20.0):
+        return MovingUe(start=Position(10.0, 0.0), gnb=Position(0.0, 0.0),
+                        speed_mps=speed, slot_duration_s=SLOT_S,
+                        range_m=range_m)
+
+    def test_snr_varies_smoothly(self):
+        model = self.make()
+        deltas = [model.step(i) for i in range(200000)]  # 100 s walk
+        arr = np.array(deltas)
+        assert arr.min() < -1.0   # walked away: real loss
+        assert arr.max() > 1.0    # walked closer: real gain
+        steps = np.abs(np.diff(arr))
+        assert steps.max() < 0.02  # no teleporting at walking speed
+
+    def test_bounces_within_range(self):
+        model = self.make(speed=50.0, range_m=5.0)
+        for i in range(100000):
+            model.step(i)
+            assert abs(model._offset_m) <= 5.0 + 1e-6
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(MobilityError):
+            self.make(speed=-1.0)
+
+    def test_name(self):
+        assert self.make().name == "moving"
+
+
+class TestBlocked:
+    def test_two_levels_only(self):
+        model = BlockedUe(slot_duration_s=SLOT_S, blockage_loss_db=10.0,
+                          seed=1)
+        deltas = {model.step(i) for i in range(100000)}
+        assert deltas == {0.0, -10.0}
+
+    def test_dwell_fractions(self):
+        model = BlockedUe(slot_duration_s=SLOT_S, mean_blocked_s=1.0,
+                          mean_clear_s=1.0, seed=2)
+        blocked = sum(model.step(i) < 0 for i in range(200000))
+        assert 0.3 < blocked / 200000 < 0.7
+
+    def test_rejects_bad_dwell(self):
+        with pytest.raises(MobilityError):
+            BlockedUe(slot_duration_s=SLOT_S, mean_blocked_s=0)
+
+    def test_name(self):
+        assert BlockedUe(slot_duration_s=SLOT_S).name == "blocked"
+
+
+class TestScenarioFactory:
+    def test_names_roundtrip(self):
+        for name in ("static", "moving", "blocked"):
+            assert scenario(name, SLOT_S).name == name
+
+    def test_unknown(self):
+        with pytest.raises(MobilityError):
+            scenario("teleporting", SLOT_S)

@@ -1,0 +1,107 @@
+"""Tests for the come-and-go population process (paper section 5.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.ue.population import (
+    ComeAndGoProcess,
+    PopulationError,
+    PopulationProfile,
+    Session,
+    TMOBILE_CELL1_PROFILES,
+    TMOBILE_CELL2_PROFILES,
+    active_counts,
+    holding_time_ccdf,
+)
+
+
+class TestProfileCalibration:
+    def test_cell1_distinct_counts(self):
+        # Paper: 400-600 distinct UEs per 10 minutes in cell 1.
+        for profile in TMOBILE_CELL1_PROFILES.values():
+            assert 350 <= profile.expected_distinct(600.0) <= 650
+
+    def test_cell2_distinct_counts(self):
+        # Paper: 100-200 distinct UEs per 10 minutes in cell 2.
+        for profile in TMOBILE_CELL2_PROFILES.values():
+            assert 80 <= profile.expected_distinct(600.0) <= 250
+
+    def test_holding_median_below_p90(self):
+        profile = PopulationProfile("x", 1.0)
+        assert profile.holding_median_s < profile.holding_p90_s
+
+
+class TestProcess:
+    def test_ninety_percent_under_35s(self):
+        # The paper's headline: 90% of UEs stay < 35 s.
+        process = ComeAndGoProcess(PopulationProfile("x", 1.0), seed=1)
+        sessions = process.generate(duration_s=5000.0)
+        holdings = np.array([s.holding_s for s in sessions])
+        frac = (holdings < 35.0).mean()
+        assert frac == pytest.approx(0.9, abs=0.03)
+
+    def test_distinct_count_matches_rate(self):
+        profile = TMOBILE_CELL1_PROFILES["afternoon"]
+        process = ComeAndGoProcess(profile, seed=2)
+        sessions = process.generate(duration_s=600.0)
+        assert 500 <= len(sessions) <= 700
+
+    def test_ids_sequential_from_offset(self):
+        process = ComeAndGoProcess(PopulationProfile("x", 5.0), seed=3)
+        sessions = process.generate(10.0, first_ue_id=100)
+        assert sessions[0].ue_id == 100
+        ids = [s.ue_id for s in sessions]
+        assert ids == list(range(100, 100 + len(ids)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(PopulationError):
+            ComeAndGoProcess(PopulationProfile("x", 0.0))
+        with pytest.raises(PopulationError):
+            ComeAndGoProcess(PopulationProfile("x", 1.0)).generate(0.0)
+
+
+class TestSession:
+    def test_activity_window(self):
+        session = Session(ue_id=1, arrival_s=10.0, holding_s=5.0)
+        assert session.departure_s == 15.0
+        assert session.active_at(10.0)
+        assert session.active_at(14.999)
+        assert not session.active_at(15.0)
+        assert not session.active_at(9.999)
+
+
+class TestStatistics:
+    def test_active_counts_shape(self):
+        sessions = [Session(0, 0.0, 10.0), Session(1, 5.0, 10.0)]
+        counts = active_counts(sessions, duration_s=20.0, bin_s=1.0)
+        assert counts.shape == (20,)
+        assert counts[0] == 1      # only UE 0
+        assert counts[7] == 2      # both active
+        assert counts[16] == 0     # both gone
+
+    def test_per_minute_counts_exceed_per_second(self):
+        process = ComeAndGoProcess(TMOBILE_CELL1_PROFILES["afternoon"],
+                                   seed=4)
+        sessions = process.generate(600.0)
+        per_second = active_counts(sessions, 600.0, 1.0)
+        per_minute = active_counts(sessions, 600.0, 60.0)
+        assert per_minute.mean() > per_second.mean()
+        # Paper Fig 11: under ~60 UEs for most one-minute periods.
+        assert np.median(per_minute) < 80
+
+    def test_ccdf(self):
+        sessions = [Session(i, 0.0, float(h))
+                    for i, h in enumerate([1, 2, 3, 4])]
+        grid = np.array([0.0, 2.5, 10.0])
+        ccdf = holding_time_ccdf(sessions, grid)
+        assert ccdf[0] == 1.0
+        assert ccdf[1] == 0.5
+        assert ccdf[2] == 0.0
+
+    def test_ccdf_empty_rejected(self):
+        with pytest.raises(PopulationError):
+            holding_time_ccdf([], np.array([1.0]))
+
+    def test_bad_bin(self):
+        with pytest.raises(PopulationError):
+            active_counts([], 10.0, 0.0)
