@@ -8,6 +8,8 @@ Mirrors how the released NR-Scope tool is driven from a terminal:
 * ``cells``    - list the built-in cell profiles (section 5.1 testbeds).
 * ``figure``   - regenerate one paper figure's table on stdout.
 * ``survey``   - commercial-cell population survey (sections 5.3.1/6).
+* ``lint``     - the nrlint 3GPP bit-contract/determinism static
+  analysis (also available as ``python -m repro.lint``).
 """
 
 from __future__ import annotations
@@ -60,6 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="commercial-cell population survey")
     survey.add_argument("--seconds", type=float, default=600.0)
     survey.add_argument("--seed", type=int, default=0)
+
+    from repro.lint.cli import add_arguments as add_lint_arguments
+    lint = sub.add_parser("lint",
+                          help="run the nrlint static-analysis pass")
+    add_lint_arguments(lint)
     return parser
 
 
@@ -159,8 +166,14 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run as run_lint
+    return run_lint(args)
+
+
 _COMMANDS = {"sniff": cmd_sniff, "cells": cmd_cells,
-             "figure": cmd_figure, "survey": cmd_survey}
+             "figure": cmd_figure, "survey": cmd_survey,
+             "lint": cmd_lint}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.constants import SFN_MODULO
 from repro.phy.coreset import Coreset, SearchSpace, coreset0_for_bandwidth
 from repro.phy.dci import DciSizeConfig
 from repro.phy.grant import GrantConfig
@@ -124,7 +125,7 @@ class CellProfile:
 
     def build_mib(self, sfn: int) -> Mib:
         """The MIB broadcast for a given frame."""
-        return Mib(sfn=sfn % 1024, scs_common_khz=self.scs_khz,
+        return Mib(sfn=sfn % SFN_MODULO, scs_common_khz=self.scs_khz,
                    ssb_subcarrier_offset=0, dmrs_typea_position=2,
                    coreset0_index=5, search_space0_index=0)
 

@@ -1,0 +1,65 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent mapping for a subtree."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def ancestors(node: ast.AST,
+              parents: dict[ast.AST, ast.AST]) -> Iterator[ast.AST]:
+    """Walk from ``node`` up to the root."""
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def call_order_key(call: ast.Call) -> tuple[int, int]:
+    """Source-order sort key for call nodes.
+
+    Chained calls like ``w.write(a, 6).write(b, 16)`` all share the
+    position of the chain's head, so ordering by the *end* of each
+    call's function expression (the position of its ``.write`` token)
+    recovers true evaluation order.
+    """
+    func = call.func
+    return (getattr(func, "end_lineno", None) or call.lineno,
+            getattr(func, "end_col_offset", None) or call.col_offset)
+
+
+def int_value(node: ast.AST) -> int | None:
+    """The value of an int literal (bools excluded), else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def unparse(node: ast.AST) -> str:
+    """Stable textual rendering of an expression."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we hit
+        return ast.dump(node)

@@ -1,0 +1,101 @@
+"""Grandfathered-finding baseline.
+
+The baseline lets the lint gate turn red only for *new* violations:
+pre-existing findings are recorded once (with a justification) and
+suppressed on later runs.  Entries match findings by content — rule id,
+package-relative path and the stripped source line — with a ``count``
+so a file may grandfather N identical lines and still fail on the
+N+1th.  Line numbers are deliberately not part of the identity.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename looked up in the current directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+@dataclass
+class Baseline:
+    """A set of suppressed finding groups."""
+
+    #: (rule, rel, snippet) -> allowed occurrence count
+    entries: Counter = field(default_factory=Counter)
+    #: (rule, rel, snippet) -> justification string
+    justifications: dict[tuple[str, str, str], str] = \
+        field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline JSON file."""
+        try:
+            raw = json.loads(path.read_text())
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"malformed baseline {path}: {exc}")
+        if not isinstance(raw, dict) or "entries" not in raw:
+            raise BaselineError(f"baseline {path} has no 'entries' list")
+        baseline = cls()
+        for entry in raw["entries"]:
+            try:
+                key = (str(entry["rule"]), str(entry["path"]),
+                       str(entry["snippet"]))
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry in {path}: {entry!r} ({exc})")
+            baseline.entries[key] += count
+            if "justification" in entry:
+                baseline.justifications[key] = str(entry["justification"])
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly ``findings``."""
+        baseline = cls()
+        for finding in findings:
+            baseline.entries[finding.group_key] += 1
+        return baseline
+
+    def filter(self, findings: list[Finding]) \
+            -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, suppressed)."""
+        budget = Counter(self.entries)
+        fresh: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            if budget[finding.group_key] > 0:
+                budget[finding.group_key] -= 1
+                suppressed.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, suppressed
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, reviewable JSON."""
+        entries = []
+        for key in sorted(self.entries):
+            rule, rel, snippet = key
+            entry: dict[str, object] = {
+                "rule": rule, "path": rel, "snippet": snippet,
+                "count": int(self.entries[key]),
+            }
+            justification = self.justifications.get(key)
+            entry["justification"] = justification if justification else \
+                "TODO: justify or fix"
+            entries.append(entry)
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,142 @@
+"""Command-line front end: ``python -m repro.lint``.
+
+Also mounted as the ``lint`` subcommand of ``python -m repro.cli``.
+
+Exit codes: 0 clean (or fully baselined), 1 new findings, 2 bad usage
+or unreadable inputs — so CI can tell "violations" from "broken run".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+)
+from repro.lint.engine import LintEngine, LintError
+from repro.lint.registry import RuleError, iter_rules
+
+#: Default scan roots, tried in order relative to the current directory.
+DEFAULT_ROOTS = ("src/repro", "repro", "src")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared with the repro.cli subcommand)."""
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: the repro package)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="output_format",
+                        help="finding output format")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help=f"baseline file of grandfathered findings "
+                             f"(default: ./{DEFAULT_BASELINE_NAME} "
+                             f"when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current findings to the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule ids to run "
+                             "(e.g. R001,R004)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
+
+def _resolve_paths(args: argparse.Namespace) -> list[Path]:
+    if args.paths:
+        return [Path(p) for p in args.paths]
+    for candidate in DEFAULT_ROOTS:
+        root = Path(candidate)
+        if root.is_dir():
+            return [root]
+    return [Path(".")]
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.is_file() or args.write_baseline:
+        return default
+    return None
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    try:
+        select = None if args.select is None else \
+            [s.strip() for s in args.select.split(",") if s.strip()]
+        if select is not None and not select:
+            print("error: --select given but names no rules",
+                  file=sys.stderr)
+            return 2
+        rules = iter_rules(select)
+    except RuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    engine = LintEngine(rules=rules)
+    try:
+        findings = engine.run(_resolve_paths(args))
+    except (LintError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline(args)
+
+    if args.write_baseline:
+        assert baseline_path is not None
+        old = Baseline.load(baseline_path) if baseline_path.is_file() \
+            else Baseline()
+        new = Baseline.from_findings(findings)
+        # Keep justifications already written for surviving entries.
+        for key, text in old.justifications.items():
+            if key in new.entries:
+                new.justifications[key] = text
+        new.save(baseline_path)
+        print(f"wrote {sum(new.entries.values())} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    suppressed: list = []
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = baseline.filter(findings)
+
+    if args.output_format == "json":
+        print(json.dumps({
+            "findings": [f.to_json() for f in findings],
+            "suppressed": len(suppressed),
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = f"{len(findings)} finding(s)"
+        if suppressed:
+            summary += f", {len(suppressed)} baselined"
+        print(summary)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Domain-aware 3GPP bit-contract and determinism "
+                    "lint for the NR-Scope reproduction.")
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

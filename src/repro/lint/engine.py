@@ -1,0 +1,139 @@
+"""The lint driver: walk files, parse once, run every applicable rule.
+
+Each file is parsed to an AST exactly once and handed to the rules
+wrapped in a :class:`LintContext`.  Rule scoping works on a
+*package-relative* path (``phy/dci.py``, ``gnb/scheduler.py``) computed
+by stripping any leading ``src/repro/`` / ``repro/`` components, so the
+same rules fire identically on the real tree and on test fixtures that
+mimic its layout.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, iter_rules
+
+#: Directory names never scanned.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+#: Package-relative prefixes never scanned (the linter does not lint
+#: itself: its rule tables legitimately contain every magic number).
+SKIP_REL_PREFIXES = ("lint/",)
+
+
+class LintError(ValueError):
+    """Raised for unusable scan targets."""
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule may want to know about one module."""
+
+    path: Path          #: filesystem path, for display
+    rel: str            #: package-relative path, for scoping
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _normalise_rel(rel: str) -> str:
+    rel = rel.replace("\\", "/")
+    for prefix in ("src/repro/", "repro/", "src/"):
+        if rel.startswith(prefix):
+            rel = rel[len(prefix):]
+            break
+    return rel
+
+
+#: Rightmost-match markers that locate the package root inside an
+#: absolute path, so a scan target given from *inside* the tree (a
+#: single file, or a subdirectory root) still gets the package-relative
+#: path that rule scoping needs: ``lint phy/dci.py`` must scope the same
+#: as ``lint src/repro``.  ``/fixtures/`` covers the test-fixture trees
+#: that mimic the package layout.
+_REL_MARKERS = ("/src/repro/", "/repro/", "/fixtures/", "/src/")
+
+#: Top-level subpackage names; when no root marker matches, a path
+#: component with one of these names anchors the rel instead (kept in
+#: the rel, unlike the markers above), so ``lint gnb/`` on a tree that
+#: merely mimics the layout scopes the same as ``lint .``.
+_PACKAGE_DIRS = ("phy", "rrc", "gnb", "ue", "radio", "core",
+                 "analysis", "experiments")
+
+
+def _recover_rel(path: Path, fallback: str) -> str:
+    text = str(path.resolve()).replace("\\", "/")
+    for marker in _REL_MARKERS:
+        idx = text.rfind(marker)
+        if idx != -1:
+            return _normalise_rel(text[idx + len(marker):])
+    parts = text.split("/")
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] in _PACKAGE_DIRS:
+            return "/".join(parts[i:])
+    return fallback
+
+
+def _iter_python_files(root: Path) -> Iterator[tuple[Path, str]]:
+    if root.is_file():
+        yield root, _recover_rel(root, _normalise_rel(root.name))
+        return
+    if not root.is_dir():
+        raise LintError(f"no such file or directory: {root}")
+    for path in sorted(root.rglob("*.py")):
+        parts = path.relative_to(root).parts
+        if any(part in SKIP_DIRS or part.endswith(".egg-info")
+               for part in parts):
+            continue
+        yield path, _recover_rel(path, _normalise_rel("/".join(parts)))
+
+
+@dataclass
+class LintEngine:
+    """Runs a rule set over a list of scan roots."""
+
+    rules: list[Rule] = field(default_factory=iter_rules)
+
+    def run(self, paths: Iterable[Path | str]) -> list[Finding]:
+        """Lint every Python file under ``paths``; returns all findings."""
+        findings: list[Finding] = []
+        for root in paths:
+            for path, rel in _iter_python_files(Path(root)):
+                if rel.startswith(SKIP_REL_PREFIXES):
+                    continue
+                findings.extend(self.run_file(path, rel))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def run_file(self, path: Path, rel: str | None = None) -> list[Finding]:
+        """Lint a single file."""
+        rel = _normalise_rel(rel if rel is not None else path.name)
+        source = Path(path).read_text()
+        return self.run_source(source, path=Path(path), rel=rel)
+
+    def run_source(self, source: str, path: Path | str = "<memory>",
+                   rel: str | None = None) -> list[Finding]:
+        """Lint source text directly (the unit-test entry point)."""
+        path = Path(path)
+        rel = _normalise_rel(rel if rel is not None else path.name)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [Finding(
+                rule_id="E000",
+                message=f"syntax error: {exc.msg}",
+                path=str(path), rel=rel,
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                snippet="")]
+        ctx = LintContext(path=path, rel=rel, source=source, tree=tree,
+                          lines=tuple(source.splitlines()))
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies(rel):
+                findings.extend(rule.check(ctx))
+        return findings

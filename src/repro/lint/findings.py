@@ -1,0 +1,45 @@
+"""The unit of lint output: one finding at one source location.
+
+Findings identify themselves to the baseline by *content* (rule, file,
+stripped source line) rather than line number, so unrelated edits above
+a grandfathered violation do not un-suppress it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule_id: str
+    message: str
+    path: str       #: path as scanned, for display
+    rel: str        #: package-relative path, for scoping and baselines
+    line: int       #: 1-based source line
+    col: int        #: 0-based column
+    snippet: str    #: the stripped source line, for baseline matching
+
+    @property
+    def group_key(self) -> tuple[str, str, str]:
+        """Content-based identity used for baseline suppression."""
+        return (self.rule_id, self.rel, self.snippet)
+
+    def render(self) -> str:
+        """Conventional ``path:line:col: RULE message`` line."""
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}")
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serialisable form for ``--format json``."""
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "rel": self.rel,
+            "line": self.line,
+            "col": self.col,
+            "snippet": self.snippet,
+        }

@@ -1,0 +1,7 @@
+"""Built-in nrlint rules.
+
+One module per rule, named ``rNNN_<slug>.py``.  Modules here are
+imported automatically by :func:`repro.lint.registry.iter_rules`; a new
+rule only needs a ``@register``-decorated :class:`~repro.lint.registry.Rule`
+subclass in its own file.
+"""

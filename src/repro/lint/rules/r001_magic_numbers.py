@@ -1,0 +1,90 @@
+"""R001: magic 3GPP numeric literals outside the constants modules.
+
+Values like 1024 (SFN modulus), 0xFFFF (SI-RNTI / max RNTI) or the
+38.212 CRC generator polynomials are load-bearing protocol facts.  When
+one appears inline in an expression, the reader cannot tell a protocol
+constant from an arbitrary number — and two call sites can silently
+disagree.  They belong in ``constants.py`` / ``mcs_tables.py`` or in a
+named module-level constant next to their single user.
+
+Exemptions:
+
+* ``constants.py`` and ``mcs_tables.py`` themselves (any directory, so
+  fixtures can mirror the layout);
+* the right-hand side of a module-level assignment whose targets are
+  all ``UPPER_CASE`` names — that *is* naming the constant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import int_value
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: value -> preferred spelling, from repro.constants / TS 38.212.
+MAGIC_NUMBERS: dict[int, str] = {
+    1023: "SFN_MODULO - 1 (frame numbers run 0..1023)",
+    1024: "SFN_MODULO",
+    65534: "P_RNTI",
+    65535: "MAX_RNTI / SI_RNTI",
+    65537: "the 38.213 Y_p modulus - give it a named constant",
+    0x864CFB: "the CRC24A generator polynomial (phy.crc.POLYNOMIALS)",
+    0x800063: "the CRC24B generator polynomial (phy.crc.POLYNOMIALS)",
+    0xB2B117: "the CRC24C generator polynomial (phy.crc.POLYNOMIALS)",
+    0x1021: "the CRC16 generator polynomial (phy.crc.POLYNOMIALS)",
+    0x621: "the CRC11 generator polynomial (phy.crc.POLYNOMIALS)",
+    1277992: "MAX_TBS_BITS",
+}
+
+#: Files allowed to spell these values out: the constants homes.
+ALLOWED_BASENAMES = {"constants.py", "mcs_tables.py"}
+
+
+def _is_upper_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id.isupper()
+
+
+def _constant_definition_spans(tree: ast.Module) \
+        -> list[tuple[int, int]]:
+    """Line spans of module-level ``UPPER_CASE = ...`` assignments."""
+    spans: list[tuple[int, int]] = []
+    for stmt in tree.body:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        if targets and all(_is_upper_name(t) for t in targets):
+            spans.append((stmt.lineno, stmt.end_lineno or stmt.lineno))
+    return spans
+
+
+@register
+class MagicNumberRule(Rule):
+    """Flag inline uses of protocol-defining numeric literals."""
+
+    rule_id = "R001"
+    title = "magic 3GPP numeric literal outside a constants module"
+
+    def applies(self, rel: str) -> bool:
+        return rel.rsplit("/", 1)[-1] not in ALLOWED_BASENAMES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        spans = _constant_definition_spans(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            value = int_value(node)
+            if value is None or value not in MAGIC_NUMBERS:
+                continue
+            line = node.lineno
+            if any(start <= line <= end for start, end in spans):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"magic 3GPP literal {value}: use "
+                f"{MAGIC_NUMBERS[value]} instead of spelling it inline")

@@ -1,0 +1,322 @@
+"""R002: bit-width contract symmetry between pack and unpack sides.
+
+NR-Scope only works because the sniffer's unpack mirrors the gNB's pack
+bit for bit (paper section 3.2.1); a single mis-sized field silently
+corrupts every downstream metric while the CRC still passes on the gNB
+side.  This rule statically checks the three codec idioms the repo
+uses:
+
+1. **Writer/reader pairs** — for every ``encode``/``decode_fields``,
+   ``encode_into``/``decode_from``, ``encode``/``decode`` method pair
+   (and ``pack``/``unpack`` or ``encode_x``/``decode_x`` function
+   pair), the ordered sequence of ``writer.write(v, W)`` /
+   ``write_signed`` / ``write_bool`` widths must equal the sequence of
+   ``reader.read(W)`` / ``read_signed`` / ``read_bool`` widths, with
+   signedness matched.  Nested ``encode_into``/``decode_from``
+   delegations count as one opaque step on each side.  A leading
+   ``write(_TAG_*, w)`` on the encode side is framing consumed by the
+   message dispatcher and is ignored.  Writes inside a ``for`` loop
+   over a literal tuple/list are multiplied by its length.
+2. **Shared-layout pairs** — ``pack``/``unpack`` that both derive their
+   widths from the same ``field_layout`` helper must *both* call it
+   (one side hand-rolling widths is exactly the drift this rule
+   exists to catch).
+3. **Coded-channel pairs** — ``encode_x``/``decode_x`` function pairs
+   must agree on their CRC polynomial names (``crc_attach`` vs
+   ``crc_check``), rate-matched sizes (second argument of
+   ``polar.construct``) and constellation (``modulate`` vs
+   ``demodulate_soft``), compared as multisets because decoders invert
+   the order.
+
+When the module also defines the ``Dci`` dataclass, a ``DciSizeConfig``
+and ``field_layout``, every layout entry is cross-checked: the field
+name must exist on ``Dci`` and the width must be an integer literal or
+a ``cfg.<attr>`` where ``<attr>`` is a ``DciSizeConfig`` field or
+property (``unpack`` silently drops unknown names at runtime, so only
+a static check sees that drift).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.astutil import (
+    ancestors,
+    call_order_key,
+    dotted_name,
+    int_value,
+    parent_map,
+    unparse,
+)
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: (encode-side name, decode-side name) method pairs checked per class.
+METHOD_PAIRS = (
+    ("encode", "decode_fields"),
+    ("encode", "decode"),
+    ("encode_into", "decode_from"),
+    ("pack", "unpack"),
+)
+
+_WRITE_WIDTH_ARG = {"write": 1, "write_signed": 1}
+_READ_WIDTH_ARG = {"read": 0, "read_signed": 0}
+_SIGNED = {"write_signed", "read_signed"}
+
+
+@dataclass(frozen=True)
+class _Event:
+    """One step of a codec's bit contract, with its source anchor."""
+
+    kind: str       # 'width' | 'nested' | 'layout'
+    detail: str     # normalised width / signedness, or ''
+    node: ast.AST
+    is_tag: bool = False
+
+    def describe(self) -> str:
+        if self.kind == "width":
+            width, signedness = self.detail[:-1], self.detail[-1]
+            return f"{width} {'signed ' if signedness == 's' else ''}bits"
+        if self.kind == "nested":
+            return "nested encode_into/decode_from"
+        return "field_layout-driven block"
+
+
+def _norm_width(node: ast.AST) -> str:
+    value = int_value(node)
+    return str(value) if value is not None else unparse(node)
+
+
+def _loop_multiplier(node: ast.AST,
+                     parents: dict[ast.AST, ast.AST]) -> int:
+    """How many times ``node`` runs due to literal-sequence for loops."""
+    multiplier = 1
+    for ancestor in ancestors(node, parents):
+        if isinstance(ancestor, ast.For) and \
+                isinstance(ancestor.iter, (ast.Tuple, ast.List)):
+            multiplier *= max(len(ancestor.iter.elts), 1)
+    return multiplier
+
+
+def _collect_events(func: ast.FunctionDef) -> list[_Event]:
+    """Ordered sequence events (widths, nesting, layouts) in ``func``."""
+    parents = parent_map(func)
+    raw: list[tuple[tuple[int, int], _Event, int]] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call) or \
+                not isinstance(node.func, ast.Attribute):
+            continue
+        attr = node.func.attr
+        event: _Event | None = None
+        if attr in _WRITE_WIDTH_ARG and len(node.args) == 2:
+            value_arg, width_arg = node.args
+            is_tag = isinstance(value_arg, ast.Name) and \
+                value_arg.id.lstrip("_").startswith("TAG")
+            event = _Event("width",
+                           f"{_norm_width(width_arg)}"
+                           f"{'s' if attr in _SIGNED else 'u'}",
+                           node, is_tag=is_tag)
+        elif attr in _READ_WIDTH_ARG and len(node.args) == 1:
+            event = _Event("width",
+                           f"{_norm_width(node.args[0])}"
+                           f"{'s' if attr in _SIGNED else 'u'}",
+                           node)
+        elif attr == "write_bool" and len(node.args) == 1:
+            event = _Event("width", "1u", node)
+        elif attr == "read_bool" and not node.args:
+            event = _Event("width", "1u", node)
+        elif attr == "encode_into" and node.args:
+            event = _Event("nested", "", node)
+        elif attr == "decode_from" and node.args:
+            event = _Event("nested", "", node)
+        if event is not None:
+            raw.append((call_order_key(node), event,
+                        _loop_multiplier(node, parents)))
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name and name.split(".")[-1] == "field_layout":
+                raw.append((call_order_key(node),
+                            _Event("layout", "", node), 1))
+    raw.sort(key=lambda item: item[0])
+    events: list[_Event] = []
+    for _, event, multiplier in raw:
+        events.extend([event] * multiplier)
+    return events
+
+
+def _collect_contract(func: ast.FunctionDef) -> list[tuple[str, str]]:
+    """Order-independent contract facts: CRCs, rate-match sizes, QAM."""
+    facts: list[tuple[str, str]] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        leaf = name.split(".")[-1] if name else ""
+        if leaf in ("crc_attach", "crc_check") and len(node.args) >= 2:
+            crc = node.args[1]
+            if isinstance(crc, ast.Constant) and isinstance(crc.value, str):
+                facts.append(("crc", crc.value))
+        elif leaf == "construct" and len(node.args) >= 2:
+            facts.append(("ratematch", unparse(node.args[1])))
+        elif leaf == "modulate" and len(node.args) >= 2:
+            facts.append(("modulation", unparse(node.args[1])))
+        elif leaf == "demodulate_soft" and len(node.args) >= 2:
+            facts.append(("modulation", unparse(node.args[1])))
+    return sorted(facts)
+
+
+def _function_pairs(ctx: LintContext) \
+        -> Iterator[tuple[str, ast.FunctionDef, ast.FunctionDef]]:
+    """(label, encode-side, decode-side) pairs in one module."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            methods = {stmt.name: stmt for stmt in node.body
+                       if isinstance(stmt, ast.FunctionDef)}
+            for enc_name, dec_name in METHOD_PAIRS:
+                if enc_name in methods and dec_name in methods:
+                    yield (f"{node.name}.{enc_name}/{dec_name}",
+                           methods[enc_name], methods[dec_name])
+                    break
+    toplevel = {stmt.name: stmt for stmt in ctx.tree.body
+                if isinstance(stmt, ast.FunctionDef)}
+    if "pack" in toplevel and "unpack" in toplevel:
+        yield "pack/unpack", toplevel["pack"], toplevel["unpack"]
+    for name, func in toplevel.items():
+        if name.startswith("encode_"):
+            partner = "decode_" + name[len("encode_"):]
+            if partner in toplevel:
+                yield f"{name}/{partner}", func, toplevel[partner]
+
+
+@register
+class BitContractRule(Rule):
+    """Pack/unpack bit-width and coding-contract symmetry."""
+
+    rule_id = "R002"
+    title = "bit-width contract asymmetry between pack and unpack"
+
+    def applies(self, rel: str) -> bool:
+        return rel.startswith(("phy/", "rrc/")) or "/" not in rel
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for label, enc, dec in _function_pairs(ctx):
+            yield from self._check_pair(ctx, label, enc, dec)
+        yield from self._check_dci_layout(ctx)
+
+    # -- writer/reader + layout + contract symmetry -------------------
+
+    def _check_pair(self, ctx: LintContext, label: str,
+                    enc: ast.FunctionDef,
+                    dec: ast.FunctionDef) -> Iterator[Finding]:
+        enc_events = [e for e in _collect_events(enc) if not e.is_tag]
+        dec_events = _collect_events(dec)
+        if enc_events or dec_events:
+            yield from self._compare_sequences(
+                ctx, label, enc, enc_events, dec_events)
+        enc_facts = _collect_contract(enc)
+        dec_facts = _collect_contract(dec)
+        if enc_facts != dec_facts:
+            missing = [f for f in enc_facts if f not in dec_facts]
+            extra = [f for f in dec_facts if f not in enc_facts]
+            detail = "; ".join(
+                [f"encode-only {kind}={value}" for kind, value in missing]
+                + [f"decode-only {kind}={value}" for kind, value in extra])
+            yield self.finding(
+                ctx, enc,
+                f"{label}: coding contract mismatch ({detail})")
+
+    def _compare_sequences(self, ctx: LintContext, label: str,
+                           enc: ast.FunctionDef,
+                           enc_events: list[_Event],
+                           dec_events: list[_Event]) -> Iterator[Finding]:
+        for index in range(max(len(enc_events), len(dec_events))):
+            if index >= len(enc_events):
+                event = dec_events[index]
+                yield self.finding(
+                    ctx, event.node,
+                    f"{label}: unpack step {index + 1} "
+                    f"({event.describe()}) has no matching pack step")
+                return
+            if index >= len(dec_events):
+                event = enc_events[index]
+                yield self.finding(
+                    ctx, event.node,
+                    f"{label}: pack step {index + 1} "
+                    f"({event.describe()}) has no matching unpack step")
+                return
+            enc_event, dec_event = enc_events[index], dec_events[index]
+            if (enc_event.kind, enc_event.detail) != \
+                    (dec_event.kind, dec_event.detail):
+                yield self.finding(
+                    ctx, enc_event.node,
+                    f"{label}: step {index + 1} packs "
+                    f"{enc_event.describe()} but unpacks "
+                    f"{dec_event.describe()} (line {dec_event.node.lineno})")
+                return
+
+    # -- Dci field_layout cross-check ---------------------------------
+
+    def _check_dci_layout(self, ctx: LintContext) -> Iterator[Finding]:
+        classes = {node.name: node for node in ast.walk(ctx.tree)
+                   if isinstance(node, ast.ClassDef)}
+        layout_fn = next(
+            (stmt for stmt in ctx.tree.body
+             if isinstance(stmt, ast.FunctionDef)
+             and stmt.name == "field_layout"), None)
+        if layout_fn is None or "Dci" not in classes or \
+                "DciSizeConfig" not in classes:
+            return
+        dci_fields = _annotated_names(classes["Dci"])
+        cfg_attrs = _annotated_names(classes["DciSizeConfig"]) \
+            | _property_names(classes["DciSizeConfig"])
+        for entry in ast.walk(layout_fn):
+            if not (isinstance(entry, ast.Tuple) and len(entry.elts) == 2):
+                continue
+            name_node, width_node = entry.elts
+            if not (isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)):
+                continue
+            name = name_node.value
+            if not name.startswith("_") and name not in dci_fields:
+                yield self.finding(
+                    ctx, name_node,
+                    f"field_layout entry {name!r} is not a Dci field; "
+                    f"unpack() drops unknown names silently")
+            if not _width_is_derived(width_node, cfg_attrs):
+                yield self.finding(
+                    ctx, width_node,
+                    f"field_layout width for {name!r} "
+                    f"({unparse(width_node)}) is neither a literal nor "
+                    f"derived from DciSizeConfig")
+
+
+def _annotated_names(cls: ast.ClassDef) -> set[str]:
+    return {stmt.target.id for stmt in cls.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)}
+
+
+def _property_names(cls: ast.ClassDef) -> set[str]:
+    names = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and any(
+                isinstance(dec, ast.Name) and dec.id == "property"
+                for dec in stmt.decorator_list):
+            names.add(stmt.name)
+    return names
+
+
+def _width_is_derived(node: ast.AST, cfg_attrs: set[str]) -> bool:
+    if int_value(node) is not None:
+        return True
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "cfg":
+        return node.attr in cfg_attrs
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("min", "max"):
+        return all(_width_is_derived(arg, cfg_attrs) for arg in node.args)
+    return False

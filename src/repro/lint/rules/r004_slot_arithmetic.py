@@ -1,0 +1,55 @@
+"""R004: raw slot/frame modular arithmetic outside the numerology layer.
+
+``slot_index % 20`` hard-codes the 30 kHz slots-per-frame count;
+``sfn % 1024`` hard-codes the SFN modulus.  Both are correct today and
+silently wrong the day a 15/60 kHz profile (or a longer counter) walks
+through the same code — the exact class of drift the paper's telemetry
+loop cannot tolerate.  Slot and frame reductions must route through
+:mod:`repro.phy.numerology` (``slots_per_frame``, ``SlotClock``) or
+the named constants (``SFN_MODULO``).
+
+``phy/numerology.py`` and ``constants.py`` are exempt: they are the
+helpers this rule funnels everyone towards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import int_value
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Moduli that encode slot/frame structure: slots per frame at each SCS
+#: (10/20/40), subframes and half-frames in symbols terms (80/160) and
+#: the SFN wrap.
+SLOT_FRAME_MODULI = {10, 20, 40, 80, 160, 320, 640, 1024}
+
+#: The modules allowed to do raw numerology arithmetic.
+EXEMPT_BASENAMES = {"numerology.py", "constants.py"}
+
+
+@register
+class SlotArithmeticRule(Rule):
+    """Flag slot/frame modulo reductions that bypass numerology."""
+
+    rule_id = "R004"
+    title = "raw slot/frame arithmetic bypassing the numerology helpers"
+
+    def applies(self, rel: str) -> bool:
+        return rel.rsplit("/", 1)[-1] not in EXEMPT_BASENAMES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Mod)):
+                continue
+            modulus = int_value(node.right)
+            if modulus in SLOT_FRAME_MODULI:
+                yield self.finding(
+                    ctx, node,
+                    f"raw '% {modulus}' slot/frame arithmetic: use "
+                    f"slots_per_frame()/SlotClock or the named constant "
+                    f"(SFN_MODULO) so other numerologies stay correct")

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.constants import AGGREGATION_LEVELS, N_REG_PER_CCE
+from repro.phy.numerology import slots_per_frame
 
 
 class CoresetError(ValueError):
@@ -147,13 +148,19 @@ _YP_COEFFICIENTS = (39827, 39829, 39839)
 _YP_MODULUS = 65537
 
 
-def _yp(rnti: int, coreset_id: int, slot_index: int) -> int:
-    """Per-slot UE-specific search-space hash Y_{p,n} (38.213 10.1)."""
+def _yp(rnti: int, coreset_id: int, slot_index: int,
+        scs_khz: int = 30) -> int:
+    """Per-slot UE-specific search-space hash Y_{p,n} (38.213 10.1).
+
+    The recursion depth follows the slot number within its frame, so
+    the reduction uses the numerology's slots-per-frame count (the
+    paper's lab cells all run 30 kHz).
+    """
     if rnti <= 0:
         raise CoresetError("UE-specific search space needs a positive RNTI")
     a_p = _YP_COEFFICIENTS[coreset_id % 3]
     y = rnti
-    for _ in range(slot_index % 20 + 1):
+    for _ in range(slot_index % slots_per_frame(scs_khz) + 1):
         y = (a_p * y) % _YP_MODULUS
     return y
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import MAX_RNTI
+
 #: Generator polynomials, MSB (x^L term) excluded, from 38.212 section 5.1.
 POLYNOMIALS = {
     "crc24a": (24, 0x864CFB),
@@ -85,7 +87,7 @@ def crc_check(bits_with_crc: np.ndarray | list[int], name: str) -> bool:
 
 def rnti_to_bits(rnti: int) -> np.ndarray:
     """16-bit MSB-first representation of an RNTI."""
-    if not 0 <= rnti <= 0xFFFF:
+    if not 0 <= rnti <= MAX_RNTI:
         raise CrcError(f"RNTI out of 16-bit range: {rnti}")
     return np.array([(rnti >> (15 - i)) & 1 for i in range(16)], dtype=np.uint8)
 

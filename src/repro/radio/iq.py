@@ -8,6 +8,7 @@ way an AGC loop would before handing one slot of samples to the workers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,7 +55,7 @@ def resample(samples: np.ndarray, ratio: float) -> np.ndarray:
     if ratio <= 0:
         raise FrontEndError(f"resample ratio must be positive: {ratio}")
     arr = np.asarray(samples, dtype=np.complex128).ravel()
-    if ratio == 1.0 or arr.size == 0:
+    if math.isclose(ratio, 1.0) or arr.size == 0:
         return arr.copy()
     n_out = int(round(arr.size * ratio))
     src = np.linspace(0.0, arr.size - 1, n_out)
@@ -102,7 +103,7 @@ class VirtualUsrp:
         scale = np.sqrt(noise_var / 2.0)
         samples = samples + self._rng.normal(0, scale, samples.size) \
             + 1j * self._rng.normal(0, scale, samples.size)
-        if self.resample_ratio != 1.0:
+        if not math.isclose(self.resample_ratio, 1.0):
             # Out to the daughterboard rate and back onto the FFT raster.
             samples = resample(resample(samples, self.resample_ratio),
                                1.0 / self.resample_ratio)

@@ -1,0 +1,21 @@
+"""Shared helpers for the nrlint self-tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def engine() -> LintEngine:
+    """A lint engine running the full built-in rule set."""
+    return LintEngine()
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    """The committed seeded-violation fixture tree."""
+    return FIXTURES

@@ -1,0 +1,22 @@
+"""R005 fixture: nondeterminism inside the simulation core."""
+
+import random
+import time
+
+import numpy as np
+
+
+def pick_backoff():
+    return random.randint(0, 15)
+
+
+def noise_sample():
+    return np.random.rand()
+
+
+def fresh_rng():
+    return np.random.default_rng()
+
+
+def timestamp():
+    return time.time()

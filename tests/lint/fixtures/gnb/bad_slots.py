@@ -1,0 +1,10 @@
+"""R004 fixture: raw slot/frame arithmetic in scheduler-side code."""
+
+
+def slot_in_frame(slot_index):
+    # Hard-codes 30 kHz slots-per-frame; must route through numerology.
+    return slot_index % 20
+
+
+def wrap_frame(sfn):
+    return sfn % 1024

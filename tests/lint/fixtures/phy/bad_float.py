@@ -1,0 +1,13 @@
+"""R003 fixture: exact float comparison on a hot PHY path."""
+
+
+def agc_converged(gain):
+    return gain == 1.0
+
+
+def is_sentinel(ratio):
+    return ratio is 1
+
+
+def not_unity(ratio):
+    return ratio != 0.5

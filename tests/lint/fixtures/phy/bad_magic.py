@@ -1,0 +1,11 @@
+"""R001 fixture: magic 3GPP literals used inline."""
+
+
+def wrap_sfn(sfn):
+    # 1024 is SFN_MODULO; inline use must be flagged.
+    return sfn % 1024
+
+
+def is_si_rnti(rnti):
+    # 65535 is SI_RNTI / MAX_RNTI; inline use must be flagged.
+    return rnti == 0xFFFF

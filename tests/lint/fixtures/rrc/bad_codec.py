@@ -1,0 +1,26 @@
+"""R002 fixture: pack/unpack width drift in a bit codec."""
+
+
+class Message:
+    """Packs 7 bits, unpacks 6: the silent corruption R002 exists for."""
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+    def encode(self, writer):
+        writer.write(self.a, 4)
+        writer.write(self.b, 7)
+        return writer.to_bits()
+
+    @classmethod
+    def decode_fields(cls, reader):
+        return cls(a=reader.read(4), b=reader.read(6))
+
+
+def encode_channel(bits):
+    return crc_attach(bits, "crc24a")  # noqa: F821 - fixture, never run
+
+
+def decode_channel(bits):
+    return crc_check(bits, "crc24b")  # noqa: F821 - fixture, never run

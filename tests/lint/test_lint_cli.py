@@ -1,0 +1,98 @@
+"""CLI-level tests: exit codes, formats, baseline workflow, repro.cli."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert lint_main([str(REPO_SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_fixture_tree_exits_nonzero(self, fixtures_dir, capsys):
+        assert lint_main([str(fixtures_dir)]) == 1
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+    def test_single_rule_selection(self, fixtures_dir, capsys):
+        assert lint_main([str(fixtures_dir), "--select", "R005"]) == 1
+        out = capsys.readouterr().out
+        assert "R005" in out and "R001" not in out
+
+    def test_bad_selection_exits_two(self, capsys):
+        assert lint_main(["--select", "R999", str(REPO_SRC)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_empty_selection_exits_two(self, capsys):
+        """An empty --select must not silently run zero rules."""
+        assert lint_main(["--select", "", str(REPO_SRC)]) == 2
+        assert "names no rules" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "missing")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_format(self, fixtures_dir, capsys):
+        assert lint_main([str(fixtures_dir), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "R004" in rules
+        assert all({"path", "line", "snippet"} <= set(f)
+                   for f in payload["findings"])
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+    def test_baseline_workflow(self, fixtures_dir, tmp_path, capsys):
+        """write-baseline grandfathers everything; reruns go green;
+        a new violation still fails."""
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(fixtures_dir), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main([str(fixtures_dir), "--baseline",
+                          str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+        extra = tmp_path / "tree" / "gnb"
+        extra.mkdir(parents=True)
+        (extra / "fresh.py").write_text("import time\nt = time.time()\n")
+        assert lint_main([str(fixtures_dir), str(extra.parent),
+                          "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+
+    def test_write_baseline_keeps_justifications(self, fixtures_dir,
+                                                 tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(fixtures_dir), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        data = json.loads(baseline.read_text())
+        data["entries"][0]["justification"] = "grandfathered: see PR 4"
+        baseline.write_text(json.dumps(data))
+        assert lint_main([str(fixtures_dir), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        rewritten = json.loads(baseline.read_text())
+        assert any(e["justification"] == "grandfathered: see PR 4"
+                   for e in rewritten["entries"])
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_clean(self, capsys):
+        assert repro_main(["lint", str(REPO_SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_subcommand_fails_on_fixtures(self, fixtures_dir,
+                                               capsys):
+        assert repro_main(["lint", str(fixtures_dir)]) == 1
+        assert "R002" in capsys.readouterr().out

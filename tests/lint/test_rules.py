@@ -1,0 +1,334 @@
+"""Positive and negative self-tests for every built-in nrlint rule."""
+
+import textwrap
+
+from repro.lint import LintEngine
+
+
+def lint(source: str, rel: str, engine: LintEngine | None = None):
+    """Lint a source snippet as if it lived at package path ``rel``."""
+    engine = engine or LintEngine()
+    return engine.run_source(textwrap.dedent(source), rel=rel)
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestR001MagicNumbers:
+    def test_flags_inline_sfn_modulus(self):
+        findings = lint("def f(sfn):\n    return sfn % 1024\n",
+                        "core/tracker.py")
+        assert any(f.rule_id == "R001" for f in findings)
+        assert "SFN_MODULO" in findings[0].message
+
+    def test_flags_inline_rnti_and_crc_poly(self):
+        src = """
+        def g(rnti):
+            if rnti == 0xFFFF:
+                return 0x864CFB
+        """
+        findings = lint(src, "core/tracker.py")
+        assert sum(f.rule_id == "R001" for f in findings) == 2
+
+    def test_allows_constants_module(self):
+        findings = lint("SFN_MODULO = 1024\nSI_RNTI = 0xFFFF\n",
+                        "constants.py")
+        assert not findings
+
+    def test_allows_named_module_level_constant(self):
+        findings = lint("SEGMENT_E_BITS = 1024\n", "phy/pdsch.py")
+        assert not rule_ids(findings) & {"R001"}
+
+    def test_allows_mcs_tables(self):
+        findings = lint("RATE = 948 / 1024\n_X = 65535\n",
+                        "phy/mcs_tables.py")
+        assert not findings
+
+    def test_ignores_unlisted_numbers(self):
+        findings = lint("def f(x):\n    return x * 42 + 1000\n",
+                        "core/x.py")
+        assert not findings
+
+
+class TestR002BitContract:
+    def test_flags_width_mismatch(self):
+        src = """
+        class Message:
+            def encode(self, writer):
+                writer.write(self.a, 4)
+                writer.write(self.b, 7)
+
+            @classmethod
+            def decode_fields(cls, reader):
+                return cls(a=reader.read(4), b=reader.read(6))
+        """
+        findings = lint(src, "rrc/messages.py")
+        assert any(f.rule_id == "R002" for f in findings)
+        assert "7 bits" in findings[0].message
+        assert "6 bits" in findings[0].message
+
+    def test_flags_missing_unpack_step(self):
+        src = """
+        class Message:
+            def encode(self, writer):
+                writer.write(self.a, 4)
+                writer.write(self.b, 2)
+
+            @classmethod
+            def decode_fields(cls, reader):
+                return cls(a=reader.read(4))
+        """
+        findings = lint(src, "rrc/messages.py")
+        assert any("no matching unpack" in f.message for f in findings)
+
+    def test_flags_signedness_mismatch(self):
+        src = """
+        class Message:
+            def encode(self, writer):
+                writer.write_signed(self.power, 9)
+
+            @classmethod
+            def decode_fields(cls, reader):
+                return cls(power=reader.read(9))
+        """
+        findings = lint(src, "rrc/messages.py")
+        assert any(f.rule_id == "R002" for f in findings)
+
+    def test_accepts_symmetric_codec_with_tag_bool_nested_loop(self):
+        src = """
+        class Message:
+            def encode(self):
+                w = BitWriter().write(_TAG_MSG, 6)
+                w.write(self.a, 4)
+                w.write_bool(self.flag)
+                self.sub.encode_into(w)
+                for c in (self.x, self.y):
+                    w.write(c, 3)
+                return w.to_bits()
+
+            @classmethod
+            def decode_fields(cls, reader):
+                return cls(
+                    a=reader.read(4),
+                    flag=reader.read_bool(),
+                    sub=Sub.decode_from(reader),
+                    x=reader.read(3),
+                    y=reader.read(3),
+                )
+        """
+        findings = lint(src, "rrc/messages.py")
+        assert not findings
+
+    def test_flags_unpack_bypassing_shared_layout(self):
+        src = """
+        def field_layout(fmt, cfg):
+            return [("mcs", 5)]
+
+        def pack(dci, cfg):
+            bits = []
+            for name, width in field_layout(dci.format, cfg):
+                bits.append(0)
+            return bits
+
+        def unpack(bits, cfg):
+            return bits[0:5]
+        """
+        findings = lint(src, "phy/dci.py")
+        assert any("no matching unpack" in f.message for f in findings)
+
+    def test_flags_coding_contract_mismatch(self):
+        src = """
+        def encode_block(bits):
+            return crc_attach(bits, "crc24a")
+
+        def decode_block(bits):
+            return crc_check(bits, "crc24b")
+        """
+        findings = lint(src, "phy/block.py")
+        assert any("coding contract mismatch" in f.message
+                   for f in findings)
+        assert any("crc24a" in f.message for f in findings)
+
+    def test_accepts_symmetric_coded_channel(self):
+        src = """
+        def encode_block(bits, cell_id):
+            with_crc = crc_attach(bits, "crc24c")
+            code = polar.construct(with_crc.size, E_BITS)
+            return modulate(polar.encode(with_crc, code), QPSK)
+
+        def decode_block(symbols, k, noise_var):
+            llrs = demodulate_soft(symbols, QPSK, noise_var)
+            code = polar.construct(k + 24, E_BITS)
+            block = polar.decode(llrs, code)
+            if not crc_check(block, "crc24c"):
+                return None
+            return block[:k]
+        """
+        findings = lint(src, "phy/block.py")
+        assert not findings
+
+    def test_flags_layout_field_unknown_to_dci(self):
+        src = """
+        class Dci:
+            mcs: int
+
+        class DciSizeConfig:
+            n_prb_bwp: int
+
+        def field_layout(fmt, cfg):
+            return [("mcs", 5), ("bogus", 2)]
+
+        def pack(dci, cfg):
+            return list(field_layout(dci, cfg))
+
+        def unpack(bits, cfg):
+            return list(field_layout(None, cfg))
+        """
+        findings = lint(src, "phy/dci.py")
+        assert any("'bogus'" in f.message for f in findings)
+
+    def test_flags_layout_width_not_from_size_config(self):
+        src = """
+        class Dci:
+            mcs: int
+
+        class DciSizeConfig:
+            mcs_bits: int
+
+        def field_layout(fmt, cfg):
+            return [("mcs", cfg.imaginary_bits)]
+
+        def pack(dci, cfg):
+            return list(field_layout(dci, cfg))
+
+        def unpack(bits, cfg):
+            return list(field_layout(None, cfg))
+        """
+        findings = lint(src, "phy/dci.py")
+        assert any("neither a literal nor derived" in f.message
+                   for f in findings)
+
+    def test_real_dci_module_is_clean(self):
+        from pathlib import Path
+        import repro.phy.dci as dci_mod
+        findings = LintEngine().run_file(Path(dci_mod.__file__),
+                                         rel="phy/dci.py")
+        assert not findings
+
+
+class TestR003FloatEquality:
+    def test_flags_float_equality_in_phy(self):
+        findings = lint("def f(x):\n    return x == 1.0\n", "phy/agc.py")
+        assert rule_ids(findings) == {"R003"}
+
+    def test_flags_not_equal_in_radio(self):
+        findings = lint("def f(r):\n    return r != 0.5\n",
+                        "radio/frontend.py")
+        assert rule_ids(findings) == {"R003"}
+
+    def test_flags_identity_with_literal(self):
+        findings = lint("def f(x):\n    return x is 1\n", "phy/agc.py")
+        assert rule_ids(findings) == {"R003"}
+        assert "identity" in findings[0].message
+
+    def test_allows_outside_hot_paths(self):
+        findings = lint("def f(x):\n    return x == 1.0\n",
+                        "analysis/metrics.py")
+        assert not findings
+
+    def test_allows_int_equality_and_inequalities(self):
+        src = """
+        def f(x):
+            return x == 1 or x <= 1.0 or x > 2.5
+        """
+        findings = lint(src, "phy/agc.py")
+        assert not findings
+
+
+class TestR004SlotArithmetic:
+    def test_flags_raw_slot_modulo(self):
+        findings = lint("def f(s):\n    return s % 20\n",
+                        "phy/dmrs_like.py")
+        assert rule_ids(findings) == {"R004"}
+
+    def test_flags_sfn_wrap_outside_helpers(self):
+        findings = lint("def f(sfn):\n    return sfn % 1024\n",
+                        "gnb/scheduler.py")
+        assert "R004" in rule_ids(findings)
+
+    def test_allows_numerology_module(self):
+        findings = lint("def f(s):\n    return s % 20\n",
+                        "phy/numerology.py")
+        assert not findings
+
+    def test_allows_non_slot_moduli(self):
+        findings = lint("def f(x, n):\n    return x % 3 + x % n\n",
+                        "gnb/scheduler.py")
+        assert not findings
+
+
+class TestR005Determinism:
+    def test_flags_stdlib_random(self):
+        src = """
+        import random
+
+        def backoff():
+            return random.randint(0, 15)
+        """
+        findings = lint(src, "gnb/rach.py")
+        assert "R005" in rule_ids(findings)
+
+    def test_flags_random_import_from(self):
+        findings = lint("from random import choice\n", "ue/traffic.py")
+        assert "R005" in rule_ids(findings)
+
+    def test_flags_numpy_legacy_global_rng(self):
+        src = """
+        import numpy as np
+
+        def noise():
+            return np.random.rand()
+        """
+        findings = lint(src, "ue/channel.py")
+        assert "R005" in rule_ids(findings)
+
+    def test_flags_unseeded_default_rng(self):
+        src = """
+        import numpy as np
+
+        def make():
+            return np.random.default_rng()
+        """
+        findings = lint(src, "simulation.py")
+        assert "R005" in rule_ids(findings)
+
+    def test_flags_wall_clock(self):
+        src = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        findings = lint(src, "gnb/gnb.py")
+        assert "R005" in rule_ids(findings)
+
+    def test_allows_seeded_rng(self):
+        src = """
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(seed)
+        """
+        findings = lint(src, "gnb/gnb.py")
+        assert not findings
+
+    def test_allows_randomness_outside_sim_core(self):
+        src = """
+        import numpy as np
+
+        def bootstrap():
+            return np.random.rand()
+        """
+        findings = lint(src, "analysis/metrics.py")
+        assert not findings

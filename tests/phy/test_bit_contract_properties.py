@@ -1,0 +1,193 @@
+"""Property tests for the pack/unpack bit contracts (runtime twin of
+lint rule R002).
+
+The static rule proves the pack and unpack *code paths* agree; these
+tests prove the *values* agree: for randomized ``DciSizeConfig``
+layouts and arbitrary payload bit patterns, ``pack(unpack(bits)) ==
+bits`` exactly, for both DCI formats, for PBCH payloads through the
+full coded chain, and for every RRC message through the fixed-width
+codec.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.dci import (
+    Dci,
+    DciFormat,
+    DciSizeConfig,
+    dci_payload_size,
+    field_layout,
+    pack,
+    unpack,
+)
+from repro.phy.pbch import decode_pbch, encode_pbch
+from repro.rrc.messages import (
+    Mib,
+    RachConfig,
+    RrcSetup,
+    SearchSpaceConfig,
+    Sib1,
+    TddConfig,
+    decode_message,
+)
+
+# Randomised RRC-derived DCI layouts: every field width the gNB could
+# plausibly configure, including zero-width (absent) optional fields.
+size_configs = st.builds(
+    DciSizeConfig,
+    n_prb_bwp=st.integers(1, 275),
+    bwp_indicator_bits=st.integers(0, 2),
+    antenna_ports_bits=st.integers(0, 6),
+    dai_bits=st.integers(0, 4),
+    pucch_resource_bits=st.integers(0, 4),
+    harq_feedback_bits=st.integers(0, 4),
+    srs_request_bits=st.integers(0, 3),
+)
+
+formats = st.sampled_from(list(DciFormat))
+
+
+class TestDciBitContract:
+    @given(cfg=size_configs, fmt=formats, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_pack_is_identity(self, cfg, fmt, data):
+        """pack(unpack(bits)) == bits for arbitrary payload patterns."""
+        size = dci_payload_size(fmt, cfg)
+        bits = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=size,
+                               max_size=size)),
+            dtype=np.uint8)
+        # The format-identifier bit must be consistent or unpack
+        # (rightly) rejects the payload.
+        bits[0] = 1 if fmt is DciFormat.DL_1_1 else 0
+        dci = unpack(bits, fmt, cfg, rnti=0x4601)
+        assert np.array_equal(pack(dci, cfg), bits)
+
+    @given(cfg=size_configs, fmt=formats, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_unpack_pack_unpack_is_identity(self, cfg, fmt, data):
+        """unpack(pack(dci)) == dci for in-range field values."""
+        values = {}
+        for name, width in field_layout(fmt, cfg):
+            if name == "_identifier":
+                continue
+            values[name] = data.draw(
+                st.integers(0, (1 << width) - 1), label=name)
+        dci = Dci(format=fmt, rnti=0x4601, **values)
+        assert unpack(pack(dci, cfg), fmt, cfg, rnti=0x4601) == dci
+
+    @given(cfg=size_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_payload_size_matches_layout(self, cfg):
+        for fmt in DciFormat:
+            layout = field_layout(fmt, cfg)
+            assert dci_payload_size(fmt, cfg) == \
+                sum(width for _, width in layout)
+            assert all(width > 0 for _, width in layout)
+
+
+class TestPbchBitContract:
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_payload_roundtrip_through_coded_chain(self, data):
+        """Any MIB-sized payload survives encode -> decode bit-exactly
+        at negligible noise."""
+        length = data.draw(st.integers(1, 64))
+        payload = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=length,
+                               max_size=length)),
+            dtype=np.uint8)
+        cell_id = data.draw(st.integers(0, 1007))
+        symbols = encode_pbch(payload, cell_id)
+        decoded = decode_pbch(symbols, length, cell_id, noise_var=1e-6)
+        assert decoded is not None
+        assert np.array_equal(decoded, payload)
+
+
+scs_values = st.sampled_from([15, 30, 60])
+
+mibs = st.builds(
+    Mib,
+    sfn=st.integers(0, 1023),
+    scs_common_khz=scs_values,
+    ssb_subcarrier_offset=st.integers(0, 15),
+    dmrs_typea_position=st.integers(2, 3),
+    coreset0_index=st.integers(0, 15),
+    search_space0_index=st.integers(0, 15),
+    cell_barred=st.booleans(),
+    intra_freq_reselection=st.booleans(),
+)
+
+rach_configs = st.builds(
+    RachConfig,
+    prach_config_index=st.integers(0, 255),
+    msg1_frequency_start=st.integers(0, 511),
+    preamble_received_target_power_dbm=st.integers(-256, 255),
+    ra_response_window_slots=st.integers(0, 63),
+    msg1_scs_khz=scs_values,
+)
+
+tdd_configs = st.integers(0, 63).flatmap(
+    lambda period: st.tuples(
+        st.integers(0, period), st.integers(0, period)).map(
+        lambda dl_ul: TddConfig(
+            period_slots=period,
+            n_dl_slots=min(dl_ul[0], period),
+            n_ul_slots=max(0, min(dl_ul[1], period - dl_ul[0])))))
+
+sib1s = st.builds(
+    Sib1,
+    cell_identity=st.integers(0, (1 << 36) - 1),
+    n_prb_carrier=st.integers(0, 511),
+    scs_khz=scs_values,
+    is_tdd=st.booleans(),
+    rach=rach_configs,
+    tdd=tdd_configs,
+    initial_bwp_id=st.integers(0, 3),
+    pdcch_coreset_prbs=st.integers(0, 511),
+    pdcch_coreset_symbols=st.integers(0, 3),
+    si_window_slots=st.integers(0, 63),
+)
+
+search_spaces = st.builds(
+    SearchSpaceConfig,
+    coreset_id=st.integers(0, 15),
+    coreset_first_prb=st.integers(0, 511),
+    coreset_n_prb=st.integers(0, 511),
+    coreset_n_symbols=st.integers(0, 3),
+    coreset_first_symbol=st.integers(0, 3),
+    interleaved=st.booleans(),
+    n_candidates_al1=st.integers(0, 7),
+    n_candidates_al2=st.integers(0, 7),
+    n_candidates_al4=st.integers(0, 7),
+    n_candidates_al8=st.integers(0, 7),
+)
+
+rrc_setups = st.builds(
+    RrcSetup,
+    tc_rnti=st.integers(0, 0xFFFF),
+    search_space=search_spaces,
+    dci_format_dl=st.sampled_from(["1_1", "1_0"]),
+    mcs_table=st.sampled_from(["qam64", "qam256"]),
+    max_mimo_layers=st.integers(1, 4),
+    dmrs_add_position=st.integers(0, 3),
+    xoverhead=st.integers(0, 3),
+    bwp_id=st.integers(0, 3),
+)
+
+
+class TestRrcBitContract:
+    @given(message=st.one_of(mibs, sib1s, rrc_setups))
+    @settings(max_examples=100, deadline=None)
+    def test_message_roundtrip(self, message):
+        assert decode_message(message.encode()) == message
+
+    @given(message=st.one_of(mibs, sib1s, rrc_setups))
+    @settings(max_examples=50, deadline=None)
+    def test_byte_padded_roundtrip_is_stable(self, message):
+        """Re-encoding the decoded message yields identical bits."""
+        bits = message.encode()
+        again = decode_message(bits).encode()
+        assert np.array_equal(bits, again)
