@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.report import Table
+from repro.core.runtime import RuntimeStats
 
 
 class SummaryError(ValueError):
@@ -53,6 +54,7 @@ class SessionReport:
 
     cell: CellSummary
     ues: list[UeSummary]
+    runtime: RuntimeStats | None = None
 
     def render(self) -> str:
         """Multi-table text rendering."""
@@ -73,7 +75,20 @@ class SessionReport:
                         u.latest_cqi if u.latest_cqi is not None else "-",
                         u.scheduling_requests, u.active_time_s,
                         u.n_dcis) for u in self.ues))
-        return header + "\n\n" + table.render()
+        text = header + "\n\n" + table.render()
+        if self.runtime is not None:
+            stats = self.runtime
+            runtime_table = Table(
+                title=(f"Runtime stages [{stats.executor}] - "
+                       f"{stats.slots_completed}/{stats.slots_submitted}"
+                       f" slots, {stats.slots_dropped} dropped "
+                       f"({stats.dcis_dropped} DCIs), "
+                       f"{stats.budget_overruns} over budget"),
+                columns=("stage", "calls", "mean us", "max us"),
+                rows=tuple((s.name, s.calls, s.mean_us, 1e6 * s.max_s)
+                           for s in stats.stages))
+            text += "\n\n" + runtime_table.render()
+        return text
 
 
 def build_session_report(scope, duration_s: float,
@@ -120,4 +135,5 @@ def build_session_report(scope, duration_s: float,
         ues_missed=scope.counters.msg4_missed,
         aggregate_dl_mbps=aggregate_dl_bits / duration_s / 1e6,
         mean_prb_utilisation=utilisation)
-    return SessionReport(cell=cell, ues=ues)
+    return SessionReport(cell=cell, ues=ues,
+                         runtime=getattr(scope, "runtime_stats", None))

@@ -48,13 +48,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the telemetry log as JSON lines")
     sniff.add_argument("--report", action="store_true",
                        help="print the full per-UE session report")
+    sniff.add_argument("--executor", default="inline",
+                       choices=["inline", "threaded"],
+                       help="slot runtime executor")
+    sniff.add_argument("--workers", type=int, default=4,
+                       help="slot workers for the threaded executor")
+    sniff.add_argument("--dci-threads", type=int, default=1,
+                       help="DCI decode shards per slot")
+    sniff.add_argument("--runtime-stats", action="store_true",
+                       help="print per-stage runtime statistics")
 
     sub.add_parser("cells", help="list built-in cell profiles")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name",
                         choices=["fig7", "fig8", "fig10", "fig11",
-                                 "fig13", "fig15"])
+                                 "fig12", "fig13", "fig15"])
     figure.add_argument("--quick", action="store_true",
                         help="shorter sessions (coarser statistics)")
 
@@ -75,8 +84,12 @@ def cmd_sniff(args: argparse.Namespace) -> int:
     sim = Simulation.build(profile, n_ues=args.ues, seed=args.seed,
                            traffic=args.traffic, channel=args.channel,
                            fidelity=args.fidelity)
-    scope = NRScope.attach(sim, snr_db=args.snr_db)
+    scope = NRScope.attach(sim, snr_db=args.snr_db,
+                           executor=args.executor,
+                           n_workers=args.workers,
+                           n_dci_threads=args.dci_threads)
     sim.run(seconds=args.seconds)
+    scope.close()
 
     print(f"cell {profile.name}: band {profile.band}, "
           f"{profile.n_prb} PRB @ {profile.scs_khz} kHz, "
@@ -94,6 +107,17 @@ def cmd_sniff(args: argparse.Namespace) -> int:
         print(f"  UE 0x{rnti:04x}: {bits / now / 1e6:7.2f} Mbps DL, "
               f"retx {retx:6.2%}, CQI {cqi if cqi is not None else '-'}, "
               f"{srs} SRs")
+    if args.runtime_stats:
+        stats = scope.runtime_stats
+        print(f"runtime [{stats.executor}]: "
+              f"{stats.slots_completed}/{stats.slots_submitted} slots, "
+              f"{stats.slots_dropped} dropped "
+              f"({stats.dcis_dropped} DCIs), "
+              f"{stats.budget_overruns} over budget")
+        for stage in stats.stages:
+            print(f"  {stage.name:<8} {stage.calls:6d} calls, "
+                  f"mean {stage.mean_us:9.1f} us, "
+                  f"max {1e6 * stage.max_s:9.1f} us")
     if args.report:
         from repro.analysis.summary import build_session_report
         print()
@@ -134,6 +158,13 @@ def cmd_figure(args: argparse.Namespace) -> int:
     elif args.name == "fig11":
         from repro.experiments import fig11_ue_counts as fig11
         print_tables([fig11.table(fig11.run())])
+    elif args.name == "fig12":
+        from repro.experiments import fig12_processing as fig12
+        if args.quick:
+            rows = fig12.run(ue_counts=(1, 4, 8), n_slots=1)
+        else:
+            rows = fig12.run()
+        print_tables([fig12.table(rows)])
     elif args.name == "fig13":
         from repro.experiments import fig13_coverage as fig13
         print_tables([fig13.table(

@@ -11,8 +11,10 @@ from repro.core.fingerprint import FingerprintLibrary, RanFingerprint, \
 from repro.core.harq_tracker import HarqTrackerBank, UeHarqTracker
 from repro.core.multicell import CellStream, FusedStream, HandoverEvent, \
     MultiCellController, correlate_streams, detect_handovers
-from repro.core.pipeline import SlotTask, WorkerPool, process_slot_task
 from repro.core.rach_sniffer import RachSniffer, TrackedUe
+from repro.core.runtime import Executor, InlineExecutor, RuntimeStats, \
+    SlotContext, SlotRuntime, Stage, StageStats, ThreadedExecutor, \
+    build_executor, shard_ues, sharded_grid_decode
 from repro.core.scope import NRScope, ScopeCounters
 from repro.core.spare_capacity import SpareCapacityEstimator, SpareShare, \
     TtiUsage
@@ -22,15 +24,19 @@ from repro.core.uci_telemetry import UciObservation, UciTelemetry
 
 __all__ = [
     "CellKnowledge", "CellSearcher", "CellStream", "DecodedDci",
-    "FeedbackMessage", "FeedbackService", "FingerprintLibrary",
-    "FusedStream", "GridDciDecoder",
-    "HandoverEvent", "HarqTrackerBank", "MultiCellController", "NRScope",
+    "Executor", "FeedbackMessage", "FeedbackService",
+    "FingerprintLibrary", "FusedStream", "GridDciDecoder",
+    "HandoverEvent", "HarqTrackerBank", "InlineExecutor",
+    "MultiCellController", "NRScope",
     "PacketAggregationAnalyzer", "RachSniffer", "RecordDciDecoder",
-    "ScopeCounters", "SlidingWindowEstimator", "SlotTask",
-    "SpareCapacityEstimator", "SpareShare", "TelemetryLog",
-    "TelemetryRecord", "ThroughputBank", "TrackedUe", "TtiUsage",
+    "RuntimeStats", "ScopeCounters", "SlidingWindowEstimator",
+    "SlotContext", "SlotRuntime", "SpareCapacityEstimator",
+    "SpareShare", "Stage", "StageStats", "TelemetryLog",
+    "TelemetryRecord", "ThreadedExecutor", "ThroughputBank",
+    "TrackedUe", "TtiUsage",
     "RanFingerprint", "UciObservation", "UciTelemetry", "UeHarqTracker",
-    "WorkerPool", "anomaly_score", "classify_scheduler",
+    "anomaly_score", "build_executor", "classify_scheduler",
     "correlate_streams", "decode_succeeds", "detect_handovers",
-    "fingerprint_session", "pdcch_bler", "process_slot_task", "uci_bler",
+    "fingerprint_session", "pdcch_bler", "shard_ues",
+    "sharded_grid_decode", "uci_bler",
 ]

@@ -16,11 +16,13 @@ HARQ tracking, throughput) is backend-agnostic.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.decode_model import decode_succeeds
+from repro.core.decode_model import counter_uniform, decode_succeeds, \
+    pdcch_bler
 from repro.core.rach_sniffer import TrackedUe
 from repro.phy.dci import Dci, DciError, DciFormat, DciSizeConfig, \
     dci_payload_size
@@ -48,26 +50,42 @@ class RecordDciDecoder:
 
     def __init__(self, sniffer_snr_db: float, seed: int = 0) -> None:
         self.sniffer_snr_db = sniffer_snr_db
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
         self.attempts = 0
         self.misses = 0
 
     def decode_slot(self, records: list[DciRecord],
                     tracked: dict[int, TrackedUe]) -> list[DecodedDci]:
-        """Decode this slot's UE-search-space DCIs for tracked RNTIs."""
+        """Decode this slot's UE-search-space DCIs for tracked RNTIs.
+
+        Runs on the slot runtime's parallel stage, so each decision is a
+        counter-based draw keyed on (seed, slot, rnti, CCE, level,
+        direction) rather than a shared-RNG state advance: the outcome
+        is identical whatever order and thread the slots run on.
+        """
         decoded: list[DecodedDci] = []
+        attempts = misses = 0
         for record in records:
             if record.search_space != "ue":
                 continue
             if record.rnti not in tracked:
                 continue
-            self.attempts += 1
+            attempts += 1
             level = record.candidate.aggregation_level
-            if decode_succeeds(self.sniffer_snr_db, level, self._rng):
+            draw = counter_uniform(
+                self.seed, record.slot_index, record.rnti,
+                record.candidate.first_cce, level,
+                int(record.dci.format == DciFormat.DL_1_1))
+            if draw >= pdcch_bler(self.sniffer_snr_db, level):
                 decoded.append(DecodedDci(dci=record.dci,
                                           aggregation_level=level))
             else:
-                self.misses += 1
+                misses += 1
+        with self._lock:
+            self.attempts += attempts
+            self.misses += misses
         return decoded
 
     def decode_common(self, records: list[DciRecord]) \
@@ -111,6 +129,7 @@ class GridDciDecoder:
         self.use_energy_gate = use_energy_gate
         self.use_cce_claiming = use_cce_claiming
         self.equalize = equalize
+        self._lock = threading.Lock()
         self.attempts = 0
 
     def decode_slot(self, grid: ResourceGrid, slot_index: int,
@@ -124,9 +143,11 @@ class GridDciDecoder:
         advisory filter.
         """
         decoded: list[DecodedDci] = []
+        attempts = 0
         if claimed is None:
             claimed = set()
-        for rnti, ue in tracked.items():
+        for rnti in sorted(tracked):
+            ue = tracked[rnti]
             space = ue.search_space
             for level, count in space.candidates_per_level.items():
                 if count == 0:
@@ -142,7 +163,7 @@ class GridDciDecoder:
                             self.noise_var):
                         continue
                     for fmt in (DciFormat.DL_1_1, DciFormat.UL_0_1):
-                        self.attempts += 1
+                        attempts += 1
                         dci = try_decode_pdcch(
                             grid, self.dci_cfg, space.coreset, candidate,
                             fmt, rnti, self.n_id, self.noise_var,
@@ -154,6 +175,8 @@ class GridDciDecoder:
                             if self.use_cce_claiming:
                                 claimed.update(cces)
                             break
+        with self._lock:
+            self.attempts += attempts
         return decoded
 
     def blind_decode_common(self, grid: ResourceGrid, slot_index: int,

@@ -62,6 +62,32 @@ def decode_succeeds(snr_db: float, aggregation_level: int,
     return bool(rng.random() >= pdcch_bler(snr_db, aggregation_level))
 
 
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 output step (the reference finalizer)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def counter_uniform(*fields: int) -> float:
+    """Counter-based uniform in [0, 1): hash the key fields, no state.
+
+    A decode decision keyed on (seed, slot, rnti, cce, ...) is the same
+    no matter which thread evaluates it or in which order — the property
+    the slot runtime's parallel DCI stage needs for cross-executor
+    determinism.  Each field is folded through splitmix64 so nearby keys
+    (consecutive slots, adjacent CCEs) decorrelate.
+    """
+    state = 0
+    for value in fields:
+        state = _splitmix64(state ^ (int(value) & _MASK64))
+    return _splitmix64(state) / float(1 << 64)
+
+
 #: BLER of the (32, 11) UCI small-block code under ML decoding,
 #: measured from repro.phy.uci with 300 trials per point (same
 #: methodology as the PDCCH table; spot-checked by the tests).

@@ -57,18 +57,40 @@ class HandoverEvent:
 
 
 class MultiCellController:
-    """Runs several cells side by side under one clock."""
+    """Runs several cells side by side under one clock.
 
-    def __init__(self) -> None:
+    Each cell's scope is an independent
+    :class:`~repro.core.runtime.SlotRuntime`; the controller's executor
+    settings are handed to every scope it builds, so N cells means N
+    per-cell runtimes driven through the same staged machinery.
+    """
+
+    def __init__(self, executor: str = "inline", n_workers: int = 4,
+                 n_dci_threads: int = 1) -> None:
+        self.executor = executor
+        self.n_workers = n_workers
+        self.n_dci_threads = n_dci_threads
         self._streams: dict[str, CellStream] = {}
         self._next_ue_id = 10_000
         self.now_s = 0.0
 
     def add_cell(self, name: str, sim: Simulation,
-                 scope: NRScope) -> CellStream:
-        """Register one cell + sniffer pair."""
+                 scope: NRScope | None = None,
+                 **scope_kwargs) -> CellStream:
+        """Register one cell + sniffer pair.
+
+        With no ``scope``, one is attached here with the controller's
+        executor settings (``scope_kwargs`` pass through to
+        :meth:`NRScope.attach`); passing a pre-built scope keeps
+        working for callers that need custom wiring.
+        """
         if name in self._streams:
             raise MultiCellError(f"duplicate cell name: {name!r}")
+        if scope is None:
+            scope = NRScope.attach(sim, executor=self.executor,
+                                   n_workers=self.n_workers,
+                                   n_dci_threads=self.n_dci_threads,
+                                   **scope_kwargs)
         stream = CellStream(name=name, sim=sim, scope=scope)
         self._streams[name] = stream
         return stream
@@ -105,7 +127,16 @@ class MultiCellController:
                 break
             _, index = min(upcoming)
             streams[index].sim.step()
+        # The interleaved loop steps the sims directly, so barrier on
+        # every cell's runtime before handing telemetry back.
+        for stream in streams:
+            stream.sim.flush_observers()
         self.now_s = target
+
+    def runtime_stats(self) -> dict[str, "object"]:
+        """Per-cell :class:`~repro.core.runtime.RuntimeStats` snapshot."""
+        return {name: stream.scope.runtime_stats
+                for name, stream in sorted(self._streams.items())}
 
     def attach_device(self, cell: str, traffic: str = "bulk",
                       channel: str = "pedestrian",

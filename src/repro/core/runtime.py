@@ -1,0 +1,557 @@
+"""The staged slot runtime: NR-Scope's Fig 4 pipeline as one machine.
+
+The paper's tool keeps up with 0.5 ms TTIs by structuring slot work as a
+pipeline — scheduler, worker pool, per-slot SIB/RACH/DCI tasks — and by
+*dropping* slots it cannot process in time rather than stalling the
+radio.  This module is that architecture, shared by every consumer in
+the repository (:class:`~repro.core.scope.NRScope`, the multi-cell
+controller, the Fig 12 benchmark):
+
+* :class:`Stage` - one typed processing step.  *Backbone* stages run
+  sequentially in slot order on the submitting thread (cell sync,
+  broadcast decode, RACH sniffing: they mutate session state and draw
+  from the session RNG, so their order is the determinism contract).
+  At most one stage is *parallel* (per-UE DCI decode: pure given the
+  captured grid and a tracked-table snapshot) and is handed to the
+  executor.  *Sink* stages (telemetry consumers) are committed strictly
+  in slot order behind a reorder buffer, so a threaded run writes the
+  exact :class:`~repro.core.telemetry.TelemetryLog` an inline run does.
+* :class:`InlineExecutor` - everything on the caller's thread; the
+  deterministic, test-friendly default.
+* :class:`ThreadedExecutor` - the paper's worker pool: N slot workers
+  pulling from a bounded queue, each optionally sharding the tracked-UE
+  table across ``n_dci_threads`` (the paper's DCI threads).
+* Backpressure - the task queue is bounded; a slot arriving while the
+  pool is saturated is *dropped with accounting* (the paper's real-time
+  constraint: an over-budget slot is a counted DCI miss, never a stall).
+* :class:`RuntimeStats` - per-stage timing/counter snapshot, the Fig 12
+  measurement surface, exposed by ``repro.cli sniff --runtime-stats``.
+
+A deviation worth naming: CPython's GIL serialises the pure-Python
+decode work, so thread scaling here shows less speed-up than the C++
+original; the stats report per-stage time so the effect is visible
+rather than hidden (EXPERIMENTS.md discusses it).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.constants import TTI_DURATION_S
+from repro.core.dci_decoder import DecodedDci, GridDciDecoder
+from repro.core.rach_sniffer import TrackedUe
+from repro.phy.resource_grid import ResourceGrid
+
+
+class SlotRuntimeError(ValueError):
+    """Raised for invalid runtime configuration or a failed run."""
+
+
+# --------------------------------------------------------------- context
+@dataclass
+class SlotContext:
+    """One slot's journey through the stages.
+
+    ``output`` is whatever the driving loop feeds the runtime (a
+    :class:`~repro.gnb.gnb.SlotOutput` for a live scope, a synthetic
+    workload for the Fig 12 bench); the remaining fields are scratch the
+    stages fill in as the slot advances.
+    """
+
+    output: object
+    seq: int = -1                 #: commit-order ticket (runtime-assigned)
+    grid: ResourceGrid | None = None
+    tracked: dict[int, TrackedUe] = field(default_factory=dict)
+    decoded: list[DecodedDci] = field(default_factory=list)
+    #: (rnti, time_s) activity marks deferred to the sink stage so that
+    #: idle-pruning sees them in slot order under every executor.
+    touch_marks: list[tuple[int, float]] = field(default_factory=list)
+    skip_decode: bool = False     #: backbone decided no decode is needed
+    dropped: bool = False         #: backpressure dropped the decode
+    decode_time_s: float = 0.0
+    error: BaseException | None = None
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One typed step of the slot pipeline.
+
+    ``fn`` receives the :class:`SlotContext`; a backbone stage may
+    return ``False`` to halt the slot entirely (e.g. the sniffer is not
+    synchronized yet).  Exactly zero or one stage may be ``parallel``;
+    ``sink`` stages must come last and are committed in slot order.
+    """
+
+    name: str
+    fn: Callable[[SlotContext], object]
+    parallel: bool = False
+    sink: bool = False
+
+
+# --------------------------------------------------------------- stats
+@dataclass
+class StageStats:
+    """Timing/throughput counters of one stage."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    @property
+    def mean_us(self) -> float:
+        """Average per-call time in microseconds (the Fig 12 quantity)."""
+        if not self.calls:
+            return 0.0
+        return 1e6 * self.total_s / self.calls
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Immutable snapshot of a runtime's counters."""
+
+    executor: str
+    slots_submitted: int
+    slots_completed: int
+    slots_dropped: int
+    dcis_dropped: int
+    budget_overruns: int
+    slot_budget_s: float
+    stages: tuple[StageStats, ...]
+
+    def stage(self, name: str) -> StageStats:
+        """Look up one stage's counters by name."""
+        for stats in self.stages:
+            if stats.name == name:
+                return stats
+        raise SlotRuntimeError(f"unknown stage: {name!r}")
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped slots over submitted slots."""
+        if not self.slots_submitted:
+            return 0.0
+        return self.slots_dropped / self.slots_submitted
+
+    @property
+    def mean_slot_us(self) -> float:
+        """Summed per-stage means: the mean cost of one full slot."""
+        return sum(s.mean_us for s in self.stages)
+
+
+# ------------------------------------------------------------ executors
+class Executor:
+    """How slot work runs.  Subclasses supply the concurrency."""
+
+    name = "base"
+    n_dci_threads = 1
+
+    def start(self) -> None:
+        """Bring up any workers (idempotent)."""
+
+    def shutdown(self) -> None:
+        """Stop workers after queued work finishes."""
+
+    def try_submit(self, seq: int,
+                   thunk: Callable[[], SlotContext]) -> bool:
+        """Accept one slot's parallel work, or refuse (backpressure)."""
+        raise NotImplementedError
+
+    def pop_ready(self) -> list[SlotContext]:
+        """Collect finished contexts (any order; non-blocking)."""
+        raise NotImplementedError
+
+    def wait(self, timeout_s: float) -> None:
+        """Block until all accepted work has finished."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """In-slot fan-out (DCI shards); results in ``items`` order."""
+        raise NotImplementedError
+
+
+class InlineExecutor(Executor):
+    """Deterministic synchronous execution on the caller's thread."""
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._ready: list[SlotContext] = []
+
+    def try_submit(self, seq: int,
+                   thunk: Callable[[], SlotContext]) -> bool:
+        self._ready.append(thunk())
+        return True
+
+    def pop_ready(self) -> list[SlotContext]:
+        ready, self._ready = self._ready, []
+        return ready
+
+    def wait(self, timeout_s: float) -> None:
+        return None
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadedExecutor(Executor):
+    """The paper's worker pool: N workers over a bounded task queue.
+
+    ``n_workers`` slot workers pull tasks; each task may further shard
+    its tracked-UE table across ``n_dci_threads`` transient threads (the
+    paper's DCI threads).  ``queue_depth`` bounds the task queue — a
+    full queue is the backpressure signal the runtime turns into a
+    counted slot drop.
+    """
+
+    name = "threaded"
+
+    def __init__(self, n_workers: int = 4, n_dci_threads: int = 1,
+                 queue_depth: int = 256) -> None:
+        if n_workers < 1:
+            raise SlotRuntimeError(f"need at least one worker: {n_workers}")
+        if n_dci_threads < 1:
+            raise SlotRuntimeError(
+                f"need at least one DCI thread: {n_dci_threads}")
+        if queue_depth < 1:
+            raise SlotRuntimeError(f"queue depth must be >= 1: {queue_depth}")
+        self.n_workers = n_workers
+        self.n_dci_threads = n_dci_threads
+        self.queue_depth = queue_depth
+        self._tasks: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._done: list[SlotContext] = []
+        self._pending = 0
+        self._workers: list[threading.Thread] = []
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"slot-worker-{i}")
+            for i in range(self.n_workers)]
+        for worker in self._workers:
+            worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is None:
+                self._tasks.task_done()
+                return
+            thunk = item
+            ctx = thunk()
+            with self._idle:
+                self._done.append(ctx)
+                self._pending -= 1
+                self._idle.notify_all()
+            self._tasks.task_done()
+
+    def try_submit(self, seq: int,
+                   thunk: Callable[[], SlotContext]) -> bool:
+        self.start()
+        with self._lock:
+            self._pending += 1
+        try:
+            self._tasks.put_nowait(thunk)
+        except queue.Full:
+            with self._lock:
+                self._pending -= 1
+            return False
+        return True
+
+    def pop_ready(self) -> list[SlotContext]:
+        with self._lock:
+            ready, self._done = self._done, []
+        return ready
+
+    def wait(self, timeout_s: float) -> None:
+        deadline = time.monotonic() + timeout_s
+        with self._idle:
+            while self._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SlotRuntimeError(
+                        f"timed out with {self._pending} slots in flight")
+                self._idle.wait(remaining)
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        results: list = [None] * len(items)
+        errors: list[BaseException] = []
+
+        def run(index: int) -> None:
+            try:
+                results[index] = fn(items[index])
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(len(items))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        for _ in self._workers:
+            self._tasks.put(None)
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        self._started = False
+
+
+def build_executor(spec: str | Executor, n_workers: int = 4,
+                   n_dci_threads: int = 1,
+                   queue_depth: int = 256) -> Executor:
+    """Resolve an executor from a name or pass an instance through."""
+    if isinstance(spec, Executor):
+        return spec
+    if spec == "inline":
+        return InlineExecutor()
+    if spec == "threaded":
+        return ThreadedExecutor(n_workers=n_workers,
+                                n_dci_threads=n_dci_threads,
+                                queue_depth=queue_depth)
+    raise SlotRuntimeError(f"unknown executor: {spec!r}")
+
+
+# ------------------------------------------------------------- sharding
+def shard_ues(tracked: dict[int, TrackedUe], n_shards: int) \
+        -> list[dict[int, TrackedUe]]:
+    """Split the UE table across DCI threads (paper section 4).
+
+    UEs are dealt round-robin in ascending-RNTI order, so the shard
+    composition depends only on the table's *contents*, never on dict
+    insertion history — threaded and inline runs shard identically.
+    """
+    if n_shards < 1:
+        raise SlotRuntimeError(f"need at least one shard: {n_shards}")
+    shards: list[dict[int, TrackedUe]] = [{} for _ in range(n_shards)]
+    for position, rnti in enumerate(sorted(tracked)):
+        shards[position % n_shards][rnti] = tracked[rnti]
+    return shards
+
+
+def sharded_grid_decode(decoder: GridDciDecoder, grid: ResourceGrid,
+                        slot_index: int, tracked: dict[int, TrackedUe],
+                        n_shards: int,
+                        mapper: Callable | None = None) \
+        -> list[DecodedDci]:
+    """Run one slot's per-UE candidate search, optionally sharded.
+
+    ``mapper`` is an :meth:`Executor.map`; each shard keeps a private
+    CCE-claim set so the result is independent of shard timing, and
+    shard results are concatenated in ascending-RNTI shard order.
+    """
+    if n_shards <= 1 or len(tracked) <= 1:
+        return decoder.decode_slot(grid, slot_index, tracked)
+    shards = shard_ues(tracked, n_shards)
+    run = mapper or (lambda fn, items: [fn(item) for item in items])
+    results = run(
+        lambda shard: decoder.decode_slot(grid, slot_index, shard),
+        shards)
+    return [item for sub in results for item in sub]
+
+
+# -------------------------------------------------------------- runtime
+class SlotRuntime:
+    """Drives slots through backbone stages, the executor, and sinks.
+
+    The submitting thread is the *backbone*: it runs the sequential
+    stages for each slot in arrival order, hands the parallel stage to
+    the executor, and commits sink stages strictly in slot order as
+    results come back (a reorder buffer bridges out-of-order workers).
+    ``flush`` barriers on everything in flight; it is called at prune
+    boundaries and at end of session, and is what makes a threaded run
+    byte-identical to an inline one.
+    """
+
+    def __init__(self, stages: Sequence[Stage],
+                 executor: Executor | None = None,
+                 slot_budget_s: float = TTI_DURATION_S[30],
+                 drop_cost: Callable[[SlotContext], int] | None = None,
+                 flush_timeout_s: float = 30.0) -> None:
+        if slot_budget_s <= 0:
+            raise SlotRuntimeError(
+                f"slot budget must be positive: {slot_budget_s}")
+        stages = list(stages)
+        parallel = [s for s in stages if s.parallel]
+        if len(parallel) > 1:
+            raise SlotRuntimeError(
+                "at most one stage may be parallel: "
+                + ", ".join(s.name for s in parallel))
+        if any(s.parallel and s.sink for s in stages):
+            raise SlotRuntimeError("a sink stage cannot be parallel")
+        seen_tail = False
+        for stage in stages:
+            if stage.parallel or stage.sink:
+                seen_tail = True
+            elif seen_tail:
+                raise SlotRuntimeError(
+                    f"backbone stage {stage.name!r} after the parallel/"
+                    f"sink tail; order stages backbone, parallel, sinks")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise SlotRuntimeError(f"duplicate stage names: {names}")
+        self.stages = stages
+        self._backbone = [s for s in stages if not s.parallel and not s.sink]
+        self._parallel = parallel[0] if parallel else None
+        self._sinks = [s for s in stages if s.sink]
+        self.executor = executor or InlineExecutor()
+        self.slot_budget_s = slot_budget_s
+        self.flush_timeout_s = flush_timeout_s
+        self._drop_cost = drop_cost or (lambda ctx: 0)
+        self._lock = threading.Lock()
+        self._stage_stats = {s.name: StageStats(name=s.name)
+                             for s in stages}
+        self._submitted = 0
+        self._completed = 0
+        self._dropped = 0
+        self._dcis_dropped = 0
+        self._overruns = 0
+        self._next_commit = 0
+        self._commit_seq = 0
+        self._reorder: dict[int, SlotContext] = {}
+
+    # ---------------------------------------------------------- intake
+    def submit(self, output: object) -> SlotContext:
+        """Feed one slot; returns its context (fully processed only
+        under the inline executor — threaded results land at a later
+        ``submit``/``flush``)."""
+        ctx = output if isinstance(output, SlotContext) \
+            else SlotContext(output=output)
+        with self._lock:
+            self._submitted += 1
+        halted = False
+        for stage in self._backbone:
+            start = time.perf_counter()
+            verdict = stage.fn(ctx)
+            self._record_stage(stage.name, time.perf_counter() - start)
+            if verdict is False:
+                halted = True
+                break
+        if halted:
+            self._drain_ready()
+            return ctx
+        ctx.seq = self._commit_seq
+        self._commit_seq += 1
+        if self._parallel is not None and not ctx.skip_decode:
+            thunk = self._make_thunk(ctx)
+            if not self.executor.try_submit(ctx.seq, thunk):
+                ctx.dropped = True
+                with self._lock:
+                    self._dropped += 1
+                    self._dcis_dropped += int(self._drop_cost(ctx))
+                self._reorder[ctx.seq] = ctx
+        else:
+            self._reorder[ctx.seq] = ctx
+        self._drain_ready()
+        return ctx
+
+    def _make_thunk(self, ctx: SlotContext) -> Callable[[], SlotContext]:
+        stage = self._parallel
+        assert stage is not None
+
+        def thunk() -> SlotContext:
+            start = time.perf_counter()
+            try:
+                stage.fn(ctx)
+            except BaseException as exc:  # noqa: BLE001 - re-raised at commit
+                ctx.error = exc
+            ctx.decode_time_s = time.perf_counter() - start
+            self._record_stage(stage.name, ctx.decode_time_s)
+            return ctx
+
+        return thunk
+
+    def _record_stage(self, name: str, elapsed_s: float) -> None:
+        with self._lock:
+            self._stage_stats[name].record(elapsed_s)
+
+    # ---------------------------------------------------------- commit
+    def _drain_ready(self) -> None:
+        for ctx in self.executor.pop_ready():
+            self._reorder[ctx.seq] = ctx
+        while self._next_commit in self._reorder:
+            ctx = self._reorder.pop(self._next_commit)
+            self._next_commit += 1
+            self._commit(ctx)
+
+    def _commit(self, ctx: SlotContext) -> None:
+        if ctx.error is not None:
+            raise SlotRuntimeError(
+                f"slot {ctx.seq} failed in stage "
+                f"{self._parallel.name if self._parallel else '?'}: "
+                f"{ctx.error!r}") from ctx.error
+        if ctx.decode_time_s > self.slot_budget_s:
+            with self._lock:
+                self._overruns += 1
+        for stage in self._sinks:
+            start = time.perf_counter()
+            stage.fn(ctx)
+            self._record_stage(stage.name, time.perf_counter() - start)
+        with self._lock:
+            self._completed += 1
+
+    def flush(self, timeout_s: float | None = None) -> None:
+        """Barrier: wait for in-flight slots and commit them in order."""
+        self.executor.wait(timeout_s if timeout_s is not None
+                           else self.flush_timeout_s)
+        self._drain_ready()
+        if self._reorder:
+            raise SlotRuntimeError(
+                f"flush left {len(self._reorder)} slots uncommitted "
+                f"(next commit seq {self._next_commit})")
+
+    def close(self) -> None:
+        """Flush and stop the executor's workers."""
+        self.flush()
+        self.executor.shutdown()
+
+    # ----------------------------------------------------------- stats
+    def stats(self) -> RuntimeStats:
+        """Consistent snapshot of every counter."""
+        with self._lock:
+            stages = tuple(replace(self._stage_stats[s.name])
+                           for s in self.stages)
+            return RuntimeStats(
+                executor=self.executor.name,
+                slots_submitted=self._submitted,
+                slots_completed=self._completed,
+                slots_dropped=self._dropped,
+                dcis_dropped=self._dcis_dropped,
+                budget_overruns=self._overruns,
+                slot_budget_s=self.slot_budget_s,
+                stages=stages)
+
+    def reset_stats(self) -> None:
+        """Zero the counters (e.g. after a benchmark warm-up)."""
+        with self._lock:
+            for stats in self._stage_stats.values():
+                stats.calls = 0
+                stats.total_s = 0.0
+                stats.max_s = 0.0
+            self._submitted = self._completed = 0
+            self._dropped = self._dcis_dropped = self._overruns = 0

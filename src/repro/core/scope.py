@@ -7,6 +7,15 @@ DCIs each TTI, and feeds the telemetry consumers — throughput
 estimation, HARQ/retransmission tracking, spare-capacity computation and
 packet-aggregation analysis.
 
+Since the staged-runtime refactor the class is a *facade*: it assembles
+a :class:`~repro.core.runtime.SlotRuntime` whose backbone stages carry
+the sequential, RNG-bearing work (sync, UCI, capture, RACH) in slot
+order, whose single parallel stage runs the per-UE DCI decode on the
+configured executor, and whose sink stage commits telemetry in slot
+order — so an inline and a threaded session produce byte-identical
+telemetry, and an over-budget slot is dropped with accounting rather
+than stalling the capture.
+
 Passivity is structural: the scope only reads :class:`SlotOutput`
 broadcasts, never the gNB's or UEs' internal state.
 """
@@ -24,12 +33,15 @@ from repro.core.dci_decoder import DecodedDci, GridDciDecoder, \
     RecordDciDecoder
 from repro.core.harq_tracker import HarqTrackerBank
 from repro.core.rach_sniffer import RachSniffer
+from repro.core.runtime import Executor, RuntimeStats, SlotContext, \
+    SlotRuntime, Stage, build_executor, sharded_grid_decode
 from repro.core.spare_capacity import SpareCapacityEstimator, TtiUsage
 from repro.core.decode_model import uci_decode_succeeds
 from repro.core.telemetry import TelemetryLog, TelemetryRecord
 from repro.core.throughput import ThroughputBank
 from repro.core.uci_telemetry import UciObservation, UciTelemetry
 from repro.phy.grant import dci_to_grant
+from repro.phy.numerology import slot_duration_s
 from repro.gnb.gnb import SlotOutput
 from repro.radio.medium import Link
 
@@ -53,6 +65,11 @@ class ScopeCounters:
     dcis_decoded: int = 0
     msg4_seen: int = 0
     msg4_missed: int = 0
+    #: Slots whose DCI decode was shed under backpressure, and the
+    #: DCI opportunities that went with them (counted DCI misses, the
+    #: paper's real-time constraint).
+    slots_dropped: int = 0
+    dcis_dropped: int = 0
 
     @property
     def msg4_total(self) -> int:
@@ -70,7 +87,11 @@ class NRScope:
                  decode_uci: bool = True,
                  uplink_snr_offset_db: float = 6.0,
                  capture_impairments: bool = False,
-                 waveform_bootstrap: bool = False) -> None:
+                 waveform_bootstrap: bool = False,
+                 executor: str | Executor = "inline",
+                 n_workers: int = 4, n_dci_threads: int = 1,
+                 queue_depth: int = 256,
+                 slot_budget_s: float | None = None) -> None:
         if fidelity not in ("message", "iq"):
             raise ScopeError(f"unknown fidelity: {fidelity!r}")
         self.link = link
@@ -111,8 +132,31 @@ class NRScope:
         self._record_decoder: RecordDciDecoder | None = None
         self._grid_decoder: GridDciDecoder | None = None
         self._usrp = None
-        self._slot_duration_s = {15: 1e-3, 30: 0.5e-3, 60: 0.25e-3} \
-            .get(scs_khz, 0.5e-3)
+        self._slot_duration_s = slot_duration_s(scs_khz)
+        self._prune_interval_slots = int(round(1.0 / self._slot_duration_s))
+
+        # The staged slot pipeline (paper Fig 4).  Backbone stages hold
+        # every RNG draw and every tracked-table mutation, so slot order
+        # alone fixes the session's randomness; the one parallel stage
+        # (per-UE DCI decode) is pure and safe to run out of order; the
+        # sink commits telemetry in slot order behind the runtime's
+        # reorder buffer.
+        self.n_dci_threads = n_dci_threads
+        self._runtime = SlotRuntime(
+            stages=[
+                Stage("sync", self._stage_sync),
+                Stage("prune", self._stage_prune),
+                Stage("uci", self._stage_uci),
+                Stage("capture", self._stage_capture),
+                Stage("rach", self._stage_rach),
+                Stage("dci", self._stage_dci, parallel=True),
+                Stage("sinks", self._stage_sinks, sink=True),
+            ],
+            executor=build_executor(executor, n_workers=n_workers,
+                                    n_dci_threads=n_dci_threads,
+                                    queue_depth=queue_depth),
+            slot_budget_s=slot_budget_s or self._slot_duration_s,
+            drop_cost=self._drop_cost)
 
     # ----------------------------------------------------- attachment
     @classmethod
@@ -128,7 +172,7 @@ class NRScope:
         scope = cls(link=link, scs_khz=sim.profile.scs_khz,
                     fidelity=fidelity or sim.gnb.fidelity,
                     cell_n_id=sim.profile.cell_id, **kwargs)
-        sim.add_observer(scope.observe_slot)
+        sim.add_observer(scope.observe_slot, flush=scope.flush)
         return scope
 
     # ----------------------------------------------------- lifecycle
@@ -278,6 +322,25 @@ class NRScope:
     # ------------------------------------------------------ main loop
     def observe_slot(self, output: SlotOutput) -> None:
         """Consume one slot of the air interface."""
+        self._runtime.submit(output)
+
+    def flush(self, timeout_s: float | None = None) -> None:
+        """Barrier on in-flight slots; telemetry is complete after."""
+        self._runtime.flush(timeout_s)
+
+    def close(self) -> None:
+        """Flush and stop the runtime's workers."""
+        self._runtime.close()
+
+    @property
+    def runtime_stats(self) -> RuntimeStats:
+        """Per-stage timing/counter snapshot of the slot runtime."""
+        return self._runtime.stats()
+
+    # -------------------------------------------------------- stages
+    def _stage_sync(self, ctx: SlotContext) -> bool | None:
+        """Cell acquisition / broadcast decode; halts pre-sync slots."""
+        output = ctx.output
         self.counters.slots_observed += 1
         if output.mib is not None:
             if self.waveform_bootstrap:
@@ -292,59 +355,122 @@ class NRScope:
             if self.searcher.synchronized and not was_synced:
                 self._on_synchronized()
         if not self.searcher.synchronized:
+            return False
+        return None
+
+    def _stage_prune(self, ctx: SlotContext) -> None:
+        """Age out idle RNTIs once a second.
+
+        The tracked table is only ever mutated on the backbone, so the
+        prune first barriers on in-flight slots: every earlier slot's
+        activity marks have then committed, and the surviving set is
+        the same whichever executor ran the decodes.
+        """
+        if self.rach is None:
             return
+        output = ctx.output
+        if output.slot.index % self._prune_interval_slots != 0:
+            return
+        self._runtime.flush()
+        for rnti in self.rach.prune_idle(output.slot.time_s,
+                                         self.idle_timeout_s):
+            self.harq.forget(rnti)
+            self.throughput.forget(rnti)
+            self.uci.forget(rnti)
+
+    def _stage_uci(self, ctx: SlotContext) -> None:
+        """Decode PUCCH reports of tracked UEs (message-level model;
+        the UL waveform is not rendered in either fidelity).
+
+        Decode decisions draw the session RNG here on the backbone;
+        the activity marks they imply are deferred to the sink stage so
+        they land in slot order under every executor.
+        """
+        output = ctx.output
         if output.uci_records and self.decode_uci and \
                 self.rach is not None:
-            self._sniff_uci(output)
+            snr = self.link.snr_db - self.uplink_snr_offset_db
+            for record in output.uci_records:
+                if not self.rach.is_tracked(record.rnti):
+                    continue
+                if not uci_decode_succeeds(snr, self._rng):
+                    continue
+                report = record.report
+                self.uci.add(UciObservation(
+                    slot_index=record.slot_index, time_s=record.time_s,
+                    rnti=record.rnti, cqi=report.cqi,
+                    scheduling_request=report.scheduling_request,
+                    harq_ack=report.harq_ack))
+                ctx.touch_marks.append((record.rnti, record.time_s))
         if not output.is_downlink:
-            return
-        self.counters.slots_synchronized += 1
-        assert self.rach is not None and self.spare is not None
+            ctx.skip_decode = True
 
+    def _stage_capture(self, ctx: SlotContext) -> None:
+        """Noisy IQ capture of the slot (the virtual USRP front end)."""
+        if ctx.skip_decode:
+            return
+        output = ctx.output
+        self.counters.slots_synchronized += 1
         if self.fidelity == "iq":
             if output.grid is None:
+                ctx.skip_decode = True
                 return
-            grid = self._capture(output)
-            self._sniff_rach_iq_mode(grid, output)
-            assert self._grid_decoder is not None
-            decoded = self._grid_decoder.decode_slot(
-                grid, output.slot.index, self.rach.tracked)
+            ctx.grid = self._capture(output)
+
+    def _stage_rach(self, ctx: SlotContext) -> None:
+        """Common-space sniffing: MSG 4 discovery, then snapshot the
+        tracked table for the parallel decode."""
+        if ctx.skip_decode:
+            return
+        output = ctx.output
+        assert self.rach is not None
+        if self.fidelity == "iq":
+            self._sniff_rach_iq_mode(ctx.grid, output)
         else:
             self._sniff_rach_message_mode(output)
+        ctx.tracked = dict(self.rach.tracked)
+
+    def _stage_dci(self, ctx: SlotContext) -> None:
+        """Per-UE DCI decode — the parallel stage.  Pure given the
+        captured grid / slot records and the tracked snapshot."""
+        output = ctx.output
+        if self.fidelity == "iq":
+            assert self._grid_decoder is not None
+            ctx.decoded = sharded_grid_decode(
+                self._grid_decoder, ctx.grid, output.slot.index,
+                ctx.tracked, self.n_dci_threads,
+                mapper=self._runtime.executor.map)
+        else:
             assert self._record_decoder is not None
-            decoded = self._record_decoder.decode_slot(
-                output.dci_records, self.rach.tracked)
+            ctx.decoded = self._record_decoder.decode_slot(
+                output.dci_records, ctx.tracked)
 
-        usage = self._process_decoded(decoded, output)
+    def _drop_cost(self, ctx: SlotContext) -> int:
+        """DCIs lost with a shed slot: the tracked UE-space DCIs it
+        carried (counted from ground truth, for the counters only —
+        like the iq-mode MSG 4 miss accounting)."""
+        output = ctx.output
+        return sum(1 for record in output.dci_records
+                   if record.search_space == "ue"
+                   and record.rnti in ctx.tracked)
+
+    def _stage_sinks(self, ctx: SlotContext) -> None:
+        """Telemetry commit, strictly in slot order."""
+        output = ctx.output
+        if self.rach is not None:
+            for rnti, time_s in ctx.touch_marks:
+                ue = self.rach.tracked.get(rnti)
+                if ue is not None:
+                    ue.touch(time_s)
+        if ctx.skip_decode:
+            return
+        if ctx.dropped:
+            self.counters.slots_dropped += 1
+            self.counters.dcis_dropped += self._drop_cost(ctx)
+            return
+        assert self.spare is not None
+        usage = self._process_decoded(ctx.decoded, output)
         self.spare.observe_tti(usage, known_rntis=self.tracked_rntis)
-
-        # Age out idle RNTIs once a second.
-        if output.slot.index % int(1.0 / self._slot_duration_s) == 0:
-            for rnti in self.rach.prune_idle(output.slot.time_s,
-                                             self.idle_timeout_s):
-                self.harq.forget(rnti)
-                self.throughput.forget(rnti)
-                self.uci.forget(rnti)
-
-    def _sniff_uci(self, output: SlotOutput) -> None:
-        """Decode PUCCH reports of tracked UEs (message-level model;
-        the UL waveform is not rendered in either fidelity)."""
-        assert self.rach is not None
-        snr = self.link.snr_db - self.uplink_snr_offset_db
-        for record in output.uci_records:
-            if not self.rach.is_tracked(record.rnti):
-                continue
-            if not uci_decode_succeeds(snr, self._rng):
-                continue
-            report = record.report
-            self.uci.add(UciObservation(
-                slot_index=record.slot_index, time_s=record.time_s,
-                rnti=record.rnti, cqi=report.cqi,
-                scheduling_request=report.scheduling_request,
-                harq_ack=report.harq_ack))
-            tracked = self.rach.tracked.get(record.rnti)
-            if tracked is not None:
-                tracked.touch(record.time_s)
 
     def _acquire_from_waveform(self, output: SlotOutput):
         """PSS/SSS search + PBCH decode over the noisy SSB burst."""

@@ -44,6 +44,11 @@ class UciTelemetry:
     def __len__(self) -> int:
         return len(self._observations)
 
+    @property
+    def observations(self) -> list[UciObservation]:
+        """Every decoded report, oldest first."""
+        return list(self._observations)
+
     def for_rnti(self, rnti: int) -> list[UciObservation]:
         """All reports from one UE, oldest first."""
         return list(self._by_rnti.get(rnti, []))

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.report import Table
+from repro.constants import TTI_DURATION_S
 from repro.core.scope import NRScope
 from repro.experiments.common import FigureResult
 from repro.gnb.cell_config import MOSOLAB_PROFILE
@@ -40,7 +41,7 @@ class _Blockage:
     start_s: float
     stop_s: float
     loss_db: float = 15.0
-    slot_duration_s: float = 0.5e-3
+    slot_duration_s: float = TTI_DURATION_S[30]
 
     def __post_init__(self) -> None:
         self._elapsed = 0.0

@@ -5,21 +5,22 @@ the slot's samples) plus per-UE DCI decoding (O(m) in the UE count) with
 one or four DCI threads, on the Amarisoft cell (20 MHz) and a T-Mobile
 cell (10 MHz), and finds a linear trend in the UE count.
 
-This module measures the same quantities on the real decode pipeline:
-OFDM demodulation of one slot of IQ samples followed by the sharded
-candidate search of :func:`process_slot_task`.  The GIL limits what
-Python threads can win back (EXPERIMENTS.md discusses the deviation);
-the linear-in-m trend is the portable result.
+This module measures the same quantities on the *shared* slot runtime —
+the same :class:`~repro.core.runtime.SlotRuntime` stages NR-Scope runs
+in production, with the per-stage means read out of its
+:class:`~repro.core.runtime.RuntimeStats` — not a private harness.  The
+GIL limits what Python threads can win back (EXPERIMENTS.md discusses
+the deviation); the linear-in-m trend is the portable result.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.dci_decoder import GridDciDecoder
-from repro.core.pipeline import SlotTask, process_slot_task
 from repro.core.rach_sniffer import RachSniffer
+from repro.core.runtime import Executor, InlineExecutor, SlotContext, \
+    SlotRuntime, Stage, ThreadedExecutor, sharded_grid_decode
 from repro.experiments.common import ExperimentError, FigureResult
 from repro.gnb.cell_config import AMARISOFT_PROFILE, CellProfile, \
     TMOBILE_N25_PROFILE
@@ -102,29 +103,53 @@ def build_workload(profile: CellProfile, n_ues: int,
                     n_encoded=encoded)
 
 
-def process_one_slot(workload: Workload, n_threads: int,
-                     noise_var: float = 1e-3) -> float:
-    """Demodulate + decode one slot; returns elapsed seconds."""
+def build_runtime(workload: Workload, executor: Executor,
+                  noise_var: float = 1e-3) -> SlotRuntime:
+    """The production stage graph over a fixed workload: OFDM
+    demodulation on the backbone, the sharded candidate search on the
+    parallel stage."""
     decoder = GridDciDecoder(
         dci_cfg=workload.profile.dci_size_config(),
         n_id=workload.profile.cell_id, noise_var=noise_var)
-    start = time.perf_counter()
-    grid = demodulate_slot(workload.samples, workload.ofdm)
-    task = SlotTask(workload.slot_index, grid, workload.tracked)
-    process_slot_task(task, decoder, n_dci_threads=n_threads)
-    return time.perf_counter() - start
+
+    def demod(ctx: SlotContext) -> None:
+        ctx.grid = demodulate_slot(workload.samples, workload.ofdm)
+        ctx.tracked = workload.tracked
+
+    def dci(ctx: SlotContext) -> None:
+        ctx.decoded = sharded_grid_decode(
+            decoder, ctx.grid, workload.slot_index, ctx.tracked,
+            executor.n_dci_threads, mapper=executor.map)
+
+    return SlotRuntime(
+        stages=[Stage("demod", demod), Stage("dci", dci, parallel=True)],
+        executor=executor)
+
+
+def executor_for(n_threads: int) -> Executor:
+    """Map the paper's thread count onto a runtime executor: one DCI
+    thread is the deterministic inline path, more shard the tracked
+    table like the paper's DCI threads."""
+    if n_threads <= 1:
+        return InlineExecutor()
+    return ThreadedExecutor(n_workers=1, n_dci_threads=n_threads)
 
 
 def measure(profile: CellProfile, n_ues: int, n_threads: int,
             n_slots: int = 3) -> TimingRow:
     """Mean per-slot processing time over ``n_slots`` repetitions."""
     workload = build_workload(profile, n_ues)
-    process_one_slot(workload, n_threads)  # warm-up
-    elapsed = [process_one_slot(workload, n_threads)
-               for _ in range(n_slots)]
+    runtime = build_runtime(workload, executor_for(n_threads))
+    runtime.submit(None)          # warm-up
+    runtime.flush()
+    runtime.reset_stats()
+    for _ in range(n_slots):
+        runtime.submit(None)
+    runtime.close()
+    stats = runtime.stats()
+    mean_us = stats.stage("demod").mean_us + stats.stage("dci").mean_us
     return TimingRow(profile=profile.name, n_ues=n_ues,
-                     n_threads=n_threads,
-                     mean_us=1e6 * sum(elapsed) / len(elapsed))
+                     n_threads=n_threads, mean_us=mean_us)
 
 
 def run(ue_counts: tuple[int, ...] = UE_COUNTS,

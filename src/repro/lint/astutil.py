@@ -57,6 +57,39 @@ def int_value(node: ast.AST) -> int | None:
     return None
 
 
+def float_value(node: ast.AST) -> float | None:
+    """The value of a float literal, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node.value
+    return None
+
+
+def _is_upper_name(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id.isupper()
+
+
+def constant_definition_spans(tree: ast.Module) \
+        -> list[tuple[int, int]]:
+    """Line spans of module-level ``UPPER_CASE = ...`` assignments.
+
+    Naming a protocol value in a module-level constant is exactly what
+    the literal-hygiene rules funnel code towards, so literals inside
+    these spans are exempt.
+    """
+    spans: list[tuple[int, int]] = []
+    for stmt in tree.body:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        else:
+            continue
+        if targets and all(_is_upper_name(t) for t in targets):
+            spans.append((stmt.lineno, stmt.end_lineno or stmt.lineno))
+    return spans
+
+
 def unparse(node: ast.AST) -> str:
     """Stable textual rendering of an expression."""
     try:

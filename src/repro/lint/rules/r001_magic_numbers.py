@@ -20,7 +20,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.astutil import int_value
+from repro.lint.astutil import constant_definition_spans, float_value, \
+    int_value
 from repro.lint.engine import LintContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
@@ -40,29 +41,17 @@ MAGIC_NUMBERS: dict[int, str] = {
     1277992: "MAX_TBS_BITS",
 }
 
+#: Slot durations (TTI lengths) at 30/60 kHz SCS.  Spelling one inline
+#: hard-codes the numerology; route through
+#: ``phy.numerology.slot_duration_s`` or ``TTI_DURATION_S`` instead.
+#: (1e-3 — the 15 kHz slot — is excluded: far too generic a float.)
+MAGIC_FLOATS: dict[float, str] = {
+    0.5e-3: "slot_duration_s(30) / TTI_DURATION_S[30]",
+    0.25e-3: "slot_duration_s(60) / TTI_DURATION_S[60]",
+}
+
 #: Files allowed to spell these values out: the constants homes.
 ALLOWED_BASENAMES = {"constants.py", "mcs_tables.py"}
-
-
-def _is_upper_name(node: ast.expr) -> bool:
-    return isinstance(node, ast.Name) and node.id.isupper()
-
-
-def _constant_definition_spans(tree: ast.Module) \
-        -> list[tuple[int, int]]:
-    """Line spans of module-level ``UPPER_CASE = ...`` assignments."""
-    spans: list[tuple[int, int]] = []
-    for stmt in tree.body:
-        targets: list[ast.expr]
-        if isinstance(stmt, ast.Assign):
-            targets = stmt.targets
-        elif isinstance(stmt, ast.AnnAssign):
-            targets = [stmt.target]
-        else:
-            continue
-        if targets and all(_is_upper_name(t) for t in targets):
-            spans.append((stmt.lineno, stmt.end_lineno or stmt.lineno))
-    return spans
 
 
 @register
@@ -76,15 +65,27 @@ class MagicNumberRule(Rule):
         return rel.rsplit("/", 1)[-1] not in ALLOWED_BASENAMES
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
-        spans = _constant_definition_spans(ctx.tree)
+        spans = constant_definition_spans(ctx.tree)
+
+        def named(node: ast.AST) -> bool:
+            line = node.lineno
+            return any(start <= line <= end for start, end in spans)
+
         for node in ast.walk(ctx.tree):
             value = int_value(node)
-            if value is None or value not in MAGIC_NUMBERS:
+            if value is not None and value in MAGIC_NUMBERS \
+                    and not named(node):
+                yield self.finding(
+                    ctx, node,
+                    f"magic 3GPP literal {value}: use "
+                    f"{MAGIC_NUMBERS[value]} instead of spelling it "
+                    f"inline")
                 continue
-            line = node.lineno
-            if any(start <= line <= end for start, end in spans):
-                continue
-            yield self.finding(
-                ctx, node,
-                f"magic 3GPP literal {value}: use "
-                f"{MAGIC_NUMBERS[value]} instead of spelling it inline")
+            duration = float_value(node)
+            if duration is not None and duration in MAGIC_FLOATS \
+                    and not named(node):
+                yield self.finding(
+                    ctx, node,
+                    f"magic slot duration {duration}: use "
+                    f"{MAGIC_FLOATS[duration]} so the numerology stays "
+                    f"in one place")

@@ -17,7 +17,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.lint.astutil import int_value
+from repro.lint.astutil import constant_definition_spans, float_value, \
+    int_value
 from repro.lint.engine import LintContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
@@ -29,6 +30,25 @@ SLOT_FRAME_MODULI = {10, 20, 40, 80, 160, 320, 640, 1024}
 
 #: The modules allowed to do raw numerology arithmetic.
 EXEMPT_BASENAMES = {"numerology.py", "constants.py"}
+
+#: The SCS values (kHz) an FR1 duration table would be keyed by.
+SCS_KHZ = {15, 30, 60}
+
+
+def _is_scs_table(node: ast.Dict) -> bool:
+    """An inline ``{scs_khz: number}`` table with at least two rows.
+
+    That shape is a private re-derivation of numerology facts
+    (``TTI_DURATION_S``, ``SLOTS_PER_SUBFRAME``) — the drift the
+    numerology helpers exist to prevent.
+    """
+    keys = [int_value(k) for k in node.keys if k is not None]
+    if len(keys) < 2 or len(keys) != len(node.keys):
+        return False
+    if not all(k in SCS_KHZ for k in keys):
+        return False
+    return all(int_value(v) is not None or float_value(v) is not None
+               for v in node.values)
 
 
 @register
@@ -42,14 +62,26 @@ class SlotArithmeticRule(Rule):
         return rel.rsplit("/", 1)[-1] not in EXEMPT_BASENAMES
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
+        spans = constant_definition_spans(ctx.tree)
         for node in ast.walk(ctx.tree):
-            if not (isinstance(node, ast.BinOp)
-                    and isinstance(node.op, ast.Mod)):
+            if isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, ast.Mod):
+                modulus = int_value(node.right)
+                if modulus in SLOT_FRAME_MODULI:
+                    yield self.finding(
+                        ctx, node,
+                        f"raw '% {modulus}' slot/frame arithmetic: use "
+                        f"slots_per_frame()/SlotClock or the named "
+                        f"constant (SFN_MODULO) so other numerologies "
+                        f"stay correct")
                 continue
-            modulus = int_value(node.right)
-            if modulus in SLOT_FRAME_MODULI:
+            if isinstance(node, ast.Dict) and _is_scs_table(node):
+                line = node.lineno
+                if any(start <= line <= end for start, end in spans):
+                    continue
                 yield self.finding(
                     ctx, node,
-                    f"raw '% {modulus}' slot/frame arithmetic: use "
-                    f"slots_per_frame()/SlotClock or the named constant "
-                    f"(SFN_MODULO) so other numerologies stay correct")
+                    "inline SCS-keyed numerology table: use "
+                    "phy.numerology (slot_duration_s, slots_per_frame) "
+                    "or the named constants (TTI_DURATION_S) instead of "
+                    "re-deriving it")

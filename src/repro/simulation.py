@@ -91,6 +91,7 @@ class Simulation:
         self.seed = seed
         self.clock = SlotClock(0, 0, profile.scs_khz)
         self._observers: list[SlotObserver] = []
+        self._observer_flushes: list[Callable[[], None]] = []
         self._sessions: list[_ScheduledSession] = []
         self._rng = np.random.default_rng(seed)
         self.slots_run = 0
@@ -138,9 +139,22 @@ class Simulation:
                              arrival_time_s=arrival_time_s)
 
     # ------------------------------------------------------ observers
-    def add_observer(self, observer: SlotObserver) -> None:
-        """Register a per-slot callback (e.g. NR-Scope's receiver)."""
+    def add_observer(self, observer: SlotObserver,
+                     flush: Callable[[], None] | None = None) -> None:
+        """Register a per-slot callback (e.g. NR-Scope's receiver).
+
+        ``flush`` is called when a run finishes, so observers that
+        process slots asynchronously (a scope on a threaded runtime)
+        can barrier before their telemetry is read.
+        """
         self._observers.append(observer)
+        if flush is not None:
+            self._observer_flushes.append(flush)
+
+    def flush_observers(self) -> None:
+        """Barrier on every observer's in-flight slot processing."""
+        for flush in self._observer_flushes:
+            flush()
 
     # ----------------------------------------------------- population
     def schedule_sessions(self, sessions: list[Session],
@@ -194,6 +208,7 @@ class Simulation:
         if seconds < 0:
             raise SimulationError(f"negative duration: {seconds}")
         self.run_slots(int(round(seconds / self.profile.slot_duration_s)))
+        self.flush_observers()
 
     @property
     def now_s(self) -> float:

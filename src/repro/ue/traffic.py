@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import TTI_DURATION_S
+
 
 class TrafficError(ValueError):
     """Raised for non-physical traffic parameters."""
@@ -106,7 +108,7 @@ class BulkDownload(TrafficModel):
     """
 
     rate_cap_bps: float = 1e9
-    slot_duration_s: float = 0.5e-3
+    slot_duration_s: float = TTI_DURATION_S[30]
     chunk_bytes: int = 131072
 
     def __post_init__(self) -> None:

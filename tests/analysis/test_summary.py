@@ -54,6 +54,22 @@ class TestBuild:
         for rnti in scope.telemetry.rntis():
             assert f"0x{rnti:04x}" in text
 
+    def test_render_includes_runtime_stages(self, session):
+        sim, scope = session
+        report = build_session_report(scope, 1.0)
+        assert report.runtime is not None
+        assert report.runtime.slots_submitted == 2000
+        text = report.render()
+        assert "Runtime stages [inline]" in text
+        for stage in ("sync", "dci", "sinks"):
+            assert stage in text
+
+    def test_render_without_runtime(self, session):
+        sim, scope = session
+        report = build_session_report(scope, 1.0)
+        bare = type(report)(cell=report.cell, ues=report.ues)
+        assert "Runtime stages" not in bare.render()
+
     def test_bad_duration(self, session):
         _, scope = session
         with pytest.raises(SummaryError):

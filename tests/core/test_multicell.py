@@ -60,6 +60,32 @@ class TestController:
         scope = controller.stream("srsran").scope
         assert len(scope.tracked_rntis) == 1
 
+    def test_add_cell_auto_attaches_scope(self):
+        controller = MultiCellController()
+        sim = Simulation.build(SRSRAN_PROFILE, n_ues=0, seed=61)
+        controller.add_cell("srsran", sim, snr_db=20.0)
+        controller.attach_device("srsran")
+        controller.run(seconds=0.3)
+        scope = controller.stream("srsran").scope
+        assert scope.runtime_stats.executor == "inline"
+        assert len(scope.tracked_rntis) == 1
+
+    def test_controller_executor_reaches_per_cell_runtimes(self):
+        controller = MultiCellController(executor="threaded",
+                                         n_workers=2)
+        for index, profile in enumerate((SRSRAN_PROFILE,
+                                         AMARISOFT_PROFILE)):
+            sim = Simulation.build(profile, n_ues=1, seed=61 + index)
+            controller.add_cell(profile.name, sim, snr_db=20.0)
+        controller.run(seconds=0.3)
+        stats = controller.runtime_stats()
+        assert sorted(stats) == ["amarisoft", "srsran"]
+        for cell_stats in stats.values():
+            assert cell_stats.executor == "threaded"
+            assert cell_stats.slots_completed == \
+                cell_stats.slots_submitted
+            assert cell_stats.slots_dropped == 0
+
 
 class TestHandover:
     def test_handover_detected(self):

@@ -1,0 +1,345 @@
+"""Tests for the staged slot runtime (executors, ordering, backpressure)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import NRScope, Simulation
+from repro.core.dci_decoder import GridDciDecoder
+from repro.core.rach_sniffer import RachSniffer
+from repro.core.runtime import InlineExecutor, SlotContext, SlotRuntime, \
+    SlotRuntimeError, Stage, ThreadedExecutor, build_executor, shard_ues, \
+    sharded_grid_decode
+from repro.gnb.cell_config import SRSRAN_PROFILE
+from repro.phy.dci import Dci, DciFormat, riv_encode
+from repro.phy.pdcch import PdcchCandidate, encode_pdcch
+from repro.phy.resource_grid import ResourceGrid
+from repro.rrc.messages import RrcSetup
+
+
+def build_tracked(n_ues=3):
+    """A tracked-UE table with real search spaces."""
+    sniffer = RachSniffer(bwp_n_prb=51)
+    setup = RrcSetup(tc_rnti=0x4601,
+                     search_space=SRSRAN_PROFILE.search_space_config())
+    sniffer.discover(0x4601, 0.0, setup)
+    for i in range(1, n_ues):
+        sniffer.discover(0x4601 + i, 0.0, None)
+    return sniffer.tracked
+
+
+def build_slot(tracked, slot_index=4):
+    """Encode one real DCI per tracked UE into a grid."""
+    grid = ResourceGrid(SRSRAN_PROFILE.n_prb)
+    cfg = SRSRAN_PROFILE.dci_size_config()
+    used = set()
+    encoded = 0
+    for rnti, ue in tracked.items():
+        space = ue.search_space
+        for start in space.candidate_cces(2, slot_index, rnti):
+            cces = set(range(start, start + 2))
+            if cces & used:
+                continue
+            dci = Dci(format=DciFormat.DL_1_1, rnti=rnti,
+                      freq_alloc_riv=riv_encode(0, 4, 51), time_alloc=1,
+                      mcs=10, ndi=0, rv=0, harq_id=0)
+            encode_pdcch(dci, cfg, space.coreset,
+                         PdcchCandidate(start, 2), grid,
+                         n_id=SRSRAN_PROFILE.cell_id,
+                         slot_index=slot_index)
+            used |= cces
+            encoded += 1
+            break
+    return grid, encoded
+
+
+def make_decoder():
+    return GridDciDecoder(dci_cfg=SRSRAN_PROFILE.dci_size_config(),
+                          n_id=SRSRAN_PROFILE.cell_id, noise_var=1e-3)
+
+
+class TestSharding:
+    def test_covers_all_ues(self):
+        tracked = build_tracked(5)
+        shards = shard_ues(tracked, 3)
+        assert len(shards) == 3
+        merged = {}
+        for shard in shards:
+            merged.update(shard)
+        assert merged == tracked
+
+    def test_balanced(self):
+        shards = shard_ues(build_tracked(6), 3)
+        assert all(len(s) == 2 for s in shards)
+
+    def test_insertion_order_does_not_matter(self):
+        # The shard layout must depend on the table's contents only, so
+        # inline and threaded sessions shard identically even if their
+        # dicts were populated in different orders.
+        tracked = build_tracked(6)
+        reversed_table = dict(sorted(tracked.items(), reverse=True))
+        assert shard_ues(tracked, 3) == shard_ues(reversed_table, 3)
+        for shard in shard_ues(tracked, 3):
+            assert list(shard) == sorted(shard)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(SlotRuntimeError):
+            shard_ues({}, 0)
+
+
+class TestShardedDecode:
+    def test_single_thread_decodes_everything(self):
+        tracked = build_tracked(3)
+        grid, encoded = build_slot(tracked)
+        decoded = sharded_grid_decode(make_decoder(), grid, 4, tracked, 1)
+        assert len(decoded) == encoded
+
+    def test_sharded_matches_single_thread(self):
+        tracked = build_tracked(4)
+        grid, encoded = build_slot(tracked)
+        single = sharded_grid_decode(make_decoder(), grid, 4, tracked, 1)
+        executor = ThreadedExecutor(n_workers=1, n_dci_threads=4)
+        sharded = sharded_grid_decode(make_decoder(), grid, 4, tracked, 4,
+                                      mapper=executor.map)
+        executor.shutdown()
+        key = lambda d: (d.dci.rnti, d.dci.format.value)  # noqa: E731
+        assert sorted(map(key, single)) == sorted(map(key, sharded))
+
+
+def make_runtime(executor=None, **kwargs):
+    """A two-stage runtime: tag on the backbone, square in parallel,
+    collect in the sink."""
+    committed = []
+
+    def backbone(ctx):
+        ctx.output = dict(ctx.output)
+
+    def work(ctx):
+        ctx.output["square"] = ctx.output["n"] ** 2
+
+    def sink(ctx):
+        committed.append(ctx)
+
+    runtime = SlotRuntime(
+        stages=[Stage("backbone", backbone),
+                Stage("work", work, parallel=True),
+                Stage("sink", sink, sink=True)],
+        executor=executor, **kwargs)
+    return runtime, committed
+
+
+class TestSlotRuntime:
+    def test_inline_processes_synchronously(self):
+        runtime, committed = make_runtime(InlineExecutor())
+        for n in range(5):
+            runtime.submit({"n": n})
+        assert [c.output["square"] for c in committed] == \
+            [n * n for n in range(5)]
+        stats = runtime.stats()
+        assert stats.slots_submitted == stats.slots_completed == 5
+        assert stats.slots_dropped == 0
+        assert stats.stage("work").calls == 5
+        assert stats.stage("work").mean_us >= 0.0
+
+    def test_threaded_commits_in_slot_order(self):
+        runtime, committed = make_runtime(
+            ThreadedExecutor(n_workers=4, queue_depth=64))
+        for n in range(40):
+            runtime.submit({"n": n})
+        runtime.close()
+        assert [c.output["n"] for c in committed] == list(range(40))
+        assert [c.output["square"] for c in committed] == \
+            [n * n for n in range(40)]
+        assert runtime.stats().slots_completed == 40
+
+    def test_halted_slot_skips_tail(self):
+        hits = []
+        runtime = SlotRuntime(stages=[
+            Stage("gate", lambda ctx: False if ctx.output < 0 else None),
+            Stage("tail", hits.append, sink=True)])
+        runtime.submit(-1)
+        runtime.submit(1)
+        assert len(hits) == 1
+        assert runtime.stats().slots_completed == 1
+
+    def test_worker_error_raised_at_commit(self):
+        def boom(ctx):
+            raise RuntimeError("decode exploded")
+
+        runtime = SlotRuntime(
+            stages=[Stage("work", boom, parallel=True)],
+            executor=ThreadedExecutor(n_workers=1))
+        with pytest.raises(SlotRuntimeError, match="decode exploded"):
+            runtime.submit(object())
+            runtime.flush()
+        runtime.executor.shutdown()
+
+    def test_reset_stats(self):
+        runtime, _ = make_runtime(InlineExecutor())
+        runtime.submit({"n": 2})
+        runtime.reset_stats()
+        stats = runtime.stats()
+        assert stats.slots_submitted == 0
+        assert stats.stage("work").calls == 0
+
+    def test_rejects_two_parallel_stages(self):
+        with pytest.raises(SlotRuntimeError):
+            SlotRuntime(stages=[Stage("a", lambda c: None, parallel=True),
+                                Stage("b", lambda c: None, parallel=True)])
+
+    def test_rejects_backbone_after_sink(self):
+        with pytest.raises(SlotRuntimeError):
+            SlotRuntime(stages=[Stage("sink", lambda c: None, sink=True),
+                                Stage("late", lambda c: None)])
+
+    def test_rejects_duplicate_stage_names(self):
+        with pytest.raises(SlotRuntimeError):
+            SlotRuntime(stages=[Stage("x", lambda c: None),
+                                Stage("x", lambda c: None)])
+
+    def test_unknown_stage_lookup(self):
+        runtime, _ = make_runtime(InlineExecutor())
+        with pytest.raises(SlotRuntimeError):
+            runtime.stats().stage("nonexistent")
+
+
+class TestBackpressure:
+    def test_overload_drops_with_accounting_and_never_deadlocks(self):
+        """Feed slots far faster than the single stalled worker can
+        process: the runtime must shed them with accounting, then
+        flush cleanly — no stall, no deadlock."""
+        release = threading.Event()
+
+        def slow(ctx):
+            release.wait(5.0)
+
+        runtime = SlotRuntime(
+            stages=[Stage("slow", slow, parallel=True),
+                    Stage("sink", lambda ctx: None, sink=True)],
+            executor=ThreadedExecutor(n_workers=1, queue_depth=2),
+            drop_cost=lambda ctx: 3)
+        start = time.monotonic()
+        for n in range(50):
+            runtime.submit(n)
+        assert time.monotonic() - start < 2.0, "submission must not stall"
+        release.set()
+        runtime.close()
+        stats = runtime.stats()
+        assert stats.slots_dropped > 0
+        assert stats.dcis_dropped == 3 * stats.slots_dropped
+        # Dropped slots still commit the sink, so every slot completes.
+        assert stats.slots_completed == 50
+        assert stats.drop_rate > 0.0
+
+    def test_dropped_context_flagged(self):
+        dropped_flags = []
+        runtime = SlotRuntime(
+            stages=[Stage("slow", lambda ctx: time.sleep(0.05),
+                          parallel=True),
+                    Stage("sink",
+                          lambda ctx: dropped_flags.append(ctx.dropped),
+                          sink=True)],
+            executor=ThreadedExecutor(n_workers=1, queue_depth=1))
+        for n in range(20):
+            runtime.submit(n)
+        runtime.close()
+        assert any(dropped_flags)
+        assert not dropped_flags[0]
+
+    def test_flush_timeout_raises(self):
+        runtime = SlotRuntime(
+            stages=[Stage("hang", lambda ctx: time.sleep(10.0),
+                          parallel=True)],
+            executor=ThreadedExecutor(n_workers=1))
+        runtime.submit(object())
+        with pytest.raises(SlotRuntimeError, match="timed out"):
+            runtime.flush(timeout_s=0.05)
+
+
+class TestScopeBackpressure:
+    def test_scope_sheds_slots_as_counted_dci_misses(self):
+        """A scope whose executor cannot keep up reports the shed slots
+        in both RuntimeStats and its own DCI-miss counters — and the
+        session still terminates."""
+        release = threading.Event()
+
+        class StallingExecutor(ThreadedExecutor):
+            def __init__(self):
+                super().__init__(n_workers=1, queue_depth=1)
+
+            def try_submit(self, seq, thunk):
+                def stalled():
+                    release.wait(10.0)
+                    return thunk()
+                return super().try_submit(seq, stalled)
+
+        sim = Simulation.build(SRSRAN_PROFILE, n_ues=2, seed=11)
+        scope = NRScope.attach(sim, snr_db=20.0,
+                               executor=StallingExecutor())
+        sim.run_slots(400)
+        release.set()
+        scope.close()
+        stats = scope.runtime_stats
+        assert stats.slots_dropped > 0
+        assert scope.counters.slots_dropped == stats.slots_dropped
+        assert scope.counters.dcis_dropped == stats.dcis_dropped
+        assert scope.counters.dcis_dropped > 0
+
+
+class TestExecutors:
+    def test_build_executor_names(self):
+        assert build_executor("inline").name == "inline"
+        threaded = build_executor("threaded", n_workers=2,
+                                  n_dci_threads=3, queue_depth=7)
+        assert threaded.n_workers == 2
+        assert threaded.n_dci_threads == 3
+        assert threaded.queue_depth == 7
+        passthrough = InlineExecutor()
+        assert build_executor(passthrough) is passthrough
+        with pytest.raises(SlotRuntimeError):
+            build_executor("quantum")
+
+    def test_threaded_rejects_bad_config(self):
+        for kwargs in ({"n_workers": 0}, {"n_dci_threads": 0},
+                       {"queue_depth": 0}):
+            with pytest.raises(SlotRuntimeError):
+                ThreadedExecutor(**kwargs)
+
+    def test_map_preserves_order(self):
+        executor = ThreadedExecutor(n_workers=1, n_dci_threads=4)
+        assert executor.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+        executor.shutdown()
+
+    def test_shutdown_idempotent(self):
+        executor = ThreadedExecutor(n_workers=1)
+        executor.start()
+        executor.shutdown()
+        executor.shutdown()
+
+
+class TestCrossExecutorDeterminism:
+    @pytest.mark.parametrize("fidelity,seconds",
+                             [("message", 1.0), ("iq", 0.1)])
+    def test_identical_telemetry_log(self, fidelity, seconds):
+        """The acceptance bar: a seeded end-to-end session produces an
+        identical TelemetryLog under InlineExecutor and
+        ThreadedExecutor(n_workers=4)."""
+
+        def session(executor, **kwargs):
+            sim = Simulation.build(SRSRAN_PROFILE, n_ues=4, seed=42,
+                                   fidelity=fidelity)
+            scope = NRScope.attach(sim, snr_db=18.0, executor=executor,
+                                   idle_timeout_s=0.4, **kwargs)
+            sim.run(seconds=seconds)
+            scope.close()
+            return scope
+
+        inline = session("inline")
+        threaded = session("threaded", n_workers=4, n_dci_threads=2)
+        assert threaded.runtime_stats.slots_dropped == 0, \
+            "determinism comparison needs a drop-free run"
+        assert inline.telemetry.records == threaded.telemetry.records
+        assert inline.counters == threaded.counters
+        assert inline.tracked_rntis == threaded.tracked_rntis
+        assert inline.uci.observations == threaded.uci.observations

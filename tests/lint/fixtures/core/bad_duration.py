@@ -1,0 +1,9 @@
+"""R001/R004 fixture: slot durations re-derived outside numerology."""
+
+
+def slot_seconds(scs_khz):
+    return {15: 1e-3, 30: 0.5e-3, 60: 0.25e-3}[scs_khz]
+
+
+def prune_interval(window_s):
+    return int(window_s / 0.5e-3)

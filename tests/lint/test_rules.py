@@ -50,6 +50,26 @@ class TestR001MagicNumbers:
                         "core/x.py")
         assert not findings
 
+    def test_flags_inline_slot_duration(self):
+        findings = lint("def budget():\n    return 0.5e-3\n",
+                        "core/scope.py")
+        assert rule_ids(findings) == {"R001"}
+        assert "slot_duration_s(30)" in findings[0].message
+
+    def test_flags_60khz_slot_duration(self):
+        findings = lint("def f(n):\n    return n * 0.25e-3\n",
+                        "gnb/scheduler.py")
+        assert any("TTI_DURATION_S[60]" in f.message for f in findings)
+
+    def test_allows_named_slot_duration_constant(self):
+        findings = lint("SLOT_S = 0.5e-3\n", "core/scope.py")
+        assert not rule_ids(findings) & {"R001"}
+
+    def test_ignores_generic_floats(self):
+        findings = lint("def f(x):\n    return x * 1e-3 + 0.5\n",
+                        "core/x.py")
+        assert not findings
+
 
 class TestR002BitContract:
     def test_flags_width_mismatch(self):
@@ -265,6 +285,33 @@ class TestR004SlotArithmetic:
     def test_allows_non_slot_moduli(self):
         findings = lint("def f(x, n):\n    return x % 3 + x % n\n",
                         "gnb/scheduler.py")
+        assert not findings
+
+    def test_flags_inline_scs_table(self):
+        src = """
+        def slots(scs_khz):
+            return {15: 1, 30: 2, 60: 4}[scs_khz]
+        """
+        findings = lint(src, "core/scope.py")
+        assert "R004" in rule_ids(findings)
+        assert "SCS-keyed" in findings[0].message
+
+    def test_allows_named_scs_table(self):
+        findings = lint("_SCS_CODES = {15: 0, 30: 1, 60: 2}\n",
+                        "rrc/messages.py")
+        assert not rule_ids(findings) & {"R004"}
+
+    def test_allows_scs_table_in_constants(self):
+        findings = lint("def f():\n    return {15: 1, 30: 2}\n",
+                        "constants.py")
+        assert not findings
+
+    def test_ignores_non_scs_dicts(self):
+        src = """
+        def f():
+            return {1: 10, 2: 20}, {15: "low"}, {30: 2}
+        """
+        findings = lint(src, "core/scope.py")
         assert not findings
 
 
