@@ -44,6 +44,7 @@ from typing import Callable, Sequence
 from repro.constants import TTI_DURATION_S
 from repro.core.dci_decoder import DecodedDci, GridDciDecoder
 from repro.core.rach_sniffer import TrackedUe
+from repro.core.sanitizer import Sanitizer
 from repro.phy.resource_grid import ResourceGrid
 
 
@@ -392,7 +393,8 @@ class SlotRuntime:
                  executor: Executor | None = None,
                  slot_budget_s: float = TTI_DURATION_S[30],
                  drop_cost: Callable[[SlotContext], int] | None = None,
-                 flush_timeout_s: float = 30.0) -> None:
+                 flush_timeout_s: float = 30.0,
+                 sanitizer: "Sanitizer | None" = None) -> None:
         if slot_budget_s <= 0:
             raise SlotRuntimeError(
                 f"slot budget must be positive: {slot_budget_s}")
@@ -422,6 +424,10 @@ class SlotRuntime:
         self.executor = executor or InlineExecutor()
         self.slot_budget_s = slot_budget_s
         self.flush_timeout_s = flush_timeout_s
+        #: nrsan hook: when enabled, the parallel stage runs inside the
+        #: sanitizer's thread-local scope so guarded tracked tables and
+        #: audited generators can attribute mutations/draws to it.
+        self._sanitizer = sanitizer
         self._drop_cost = drop_cost or (lambda ctx: 0)
         self._lock = threading.Lock()
         self._stage_stats = {s.name: StageStats(name=s.name)
@@ -473,11 +479,16 @@ class SlotRuntime:
     def _make_thunk(self, ctx: SlotContext) -> Callable[[], SlotContext]:
         stage = self._parallel
         assert stage is not None
+        sanitizer = self._sanitizer
 
         def thunk() -> SlotContext:
             start = time.perf_counter()
             try:
-                stage.fn(ctx)
+                if sanitizer is not None and sanitizer.enabled:
+                    with sanitizer.parallel_stage_scope(stage.name):
+                        stage.fn(ctx)
+                else:
+                    stage.fn(ctx)
             except BaseException as exc:  # noqa: BLE001 - re-raised at commit
                 ctx.error = exc
             ctx.decode_time_s = time.perf_counter() - start

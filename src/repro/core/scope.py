@@ -35,6 +35,7 @@ from repro.core.harq_tracker import HarqTrackerBank
 from repro.core.rach_sniffer import RachSniffer
 from repro.core.runtime import Executor, RuntimeStats, SlotContext, \
     SlotRuntime, Stage, build_executor, sharded_grid_decode
+from repro.core.sanitizer import Sanitizer, parallel_stage
 from repro.core.spare_capacity import SpareCapacityEstimator, TtiUsage
 from repro.core.decode_model import uci_decode_succeeds
 from repro.core.telemetry import TelemetryLog, TelemetryRecord
@@ -91,7 +92,8 @@ class NRScope:
                  executor: str | Executor = "inline",
                  n_workers: int = 4, n_dci_threads: int = 1,
                  queue_depth: int = 256,
-                 slot_budget_s: float | None = None) -> None:
+                 slot_budget_s: float | None = None,
+                 sanitizer: Sanitizer | None = None) -> None:
         if fidelity not in ("message", "iq"):
             raise ScopeError(f"unknown fidelity: {fidelity!r}")
         self.link = link
@@ -100,7 +102,14 @@ class NRScope:
         self.cell_n_id = cell_n_id
         self.idle_timeout_s = idle_timeout_s
         self.always_decode_setup = always_decode_setup
-        self._rng = np.random.default_rng(seed)
+        # nrsan (opt-in via the sanitizer argument, the nrsan pytest
+        # fixture or NRSAN=1): the session RNG is audited and tracked
+        # snapshots are write-guarded, proving at runtime the purity
+        # contract lint rules R006/R007 prove statically.  Disabled,
+        # both hooks return their argument unchanged.
+        self._sanitizer = sanitizer if sanitizer is not None \
+            else Sanitizer.from_env()
+        self._rng = self._sanitizer.audit_rng(np.random.default_rng(seed))
 
         self.searcher = CellSearcher(sniffer_snr_db=link.snr_db)
         self.counters = ScopeCounters()
@@ -156,7 +165,8 @@ class NRScope:
                                     n_dci_threads=n_dci_threads,
                                     queue_depth=queue_depth),
             slot_budget_s=slot_budget_s or self._slot_duration_s,
-            drop_cost=self._drop_cost)
+            drop_cost=self._drop_cost,
+            sanitizer=self._sanitizer)
 
     # ----------------------------------------------------- attachment
     @classmethod
@@ -428,11 +438,14 @@ class NRScope:
             self._sniff_rach_iq_mode(ctx.grid, output)
         else:
             self._sniff_rach_message_mode(output)
-        ctx.tracked = dict(self.rach.tracked)
+        ctx.tracked = self._sanitizer.guard_tracked(dict(self.rach.tracked))
 
+    @parallel_stage
     def _stage_dci(self, ctx: SlotContext) -> None:
         """Per-UE DCI decode — the parallel stage.  Pure given the
-        captured grid / slot records and the tracked snapshot."""
+        captured grid / slot records and the tracked snapshot.  The
+        decorator marks it as a purity root for lint rule R006 and for
+        the nrsan runtime guard."""
         output = ctx.output
         if self.fidelity == "iq":
             assert self._grid_decoder is not None

@@ -27,6 +27,26 @@ class BaselineError(ValueError):
     """Raised for unreadable or malformed baseline files."""
 
 
+def _in_scope(rel: str, scanned_rels: set[str]) -> bool:
+    """Whether a scan that covered ``scanned_rels`` can judge ``rel``.
+
+    A baseline entry is judgeable if its file was scanned, or if the
+    scan covered the file's directory (some scanned file shares it) —
+    the latter is how an entry for a *deleted* file still surfaces as
+    an orphan, while a scoped run (``--changed``, one file elsewhere)
+    stays silent about files it never looked at.
+    """
+    if rel in scanned_rels:
+        return True
+    parent = rel.rsplit("/", 1)[0] if "/" in rel else ""
+    for scanned in scanned_rels:
+        scanned_parent = scanned.rsplit("/", 1)[0] if "/" in scanned \
+            else ""
+        if scanned_parent == parent:
+            return True
+    return False
+
+
 @dataclass
 class Baseline:
     """A set of suppressed finding groups."""
@@ -83,6 +103,56 @@ class Baseline:
             else:
                 fresh.append(finding)
         return fresh, suppressed
+
+    def unmatched(self, findings: list[Finding],
+                  scanned_rels: set[str] | None = None) \
+            -> list[tuple[str, str, str]]:
+        """Baseline entries no longer matched by any current finding.
+
+        An *orphan* is an entry whose (rule, path, snippet) fingerprint
+        matched fewer findings than its count — the grandfathered code
+        was fixed or deleted, so the entry is dead weight.  When
+        ``scanned_rels`` is given, only entries for files the scan
+        actually covered are considered, so a scoped run (``--changed``,
+        a single file) never flags entries for files it did not look at.
+        """
+        used: Counter = Counter(f.group_key for f in findings)
+        orphans: list[tuple[str, str, str]] = []
+        for key in sorted(self.entries):
+            _, rel, _ = key
+            if scanned_rels is not None and \
+                    not _in_scope(rel, scanned_rels):
+                continue
+            if used[key] < self.entries[key]:
+                orphans.append(key)
+        return orphans
+
+    def prune(self, findings: list[Finding],
+              scanned_rels: set[str] | None = None) -> int:
+        """Shrink entries to what current findings still need.
+
+        Counts are reduced to the number of matching findings (entries
+        dropping to zero are removed along with their justification);
+        returns how many suppression slots were pruned.  Scoping via
+        ``scanned_rels`` mirrors :meth:`unmatched`.
+        """
+        used: Counter = Counter(f.group_key for f in findings)
+        pruned = 0
+        for key in list(self.entries):
+            _, rel, _ = key
+            if scanned_rels is not None and \
+                    not _in_scope(rel, scanned_rels):
+                continue
+            excess = self.entries[key] - used[key]
+            if excess <= 0:
+                continue
+            pruned += excess
+            if used[key] > 0:
+                self.entries[key] = used[key]
+            else:
+                del self.entries[key]
+                self.justifications.pop(key, None)
+        return pruned
 
     def save(self, path: Path) -> None:
         """Write the baseline as stable, reviewable JSON."""

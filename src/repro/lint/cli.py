@@ -2,14 +2,22 @@
 
 Also mounted as the ``lint`` subcommand of ``python -m repro.cli``.
 
-Exit codes: 0 clean (or fully baselined), 1 new findings, 2 bad usage
-or unreadable inputs — so CI can tell "violations" from "broken run".
+Modes::
+
+    python -m repro.lint [PATH...]        # lint (default)
+    python -m repro.lint effects [PATH...]  # JSON effect report
+    python -m repro.lint --changed [REF]  # lint only git-changed files
+
+Exit codes: 0 clean (or fully baselined), 1 new findings, 2 analyzer
+crash / bad usage / unreadable inputs — so CI can tell "violations"
+from "broken run".
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -28,7 +36,9 @@ DEFAULT_ROOTS = ("src/repro", "repro", "src")
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the lint options (shared with the repro.cli subcommand)."""
     parser.add_argument("paths", nargs="*", metavar="PATH",
-                        help="files or directories to lint "
+                        help="files or directories to lint; the first "
+                             "may be the literal 'effects' to emit the "
+                             "JSON effect report instead of findings "
                              "(default: the repro package)")
     parser.add_argument("--format", choices=["text", "json"],
                         default="text", dest="output_format",
@@ -40,6 +50,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write all current findings to the "
                              "baseline file and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline file with orphaned "
+                             "entries (no longer matching any finding) "
+                             "removed")
+    parser.add_argument("--changed", nargs="?", const="HEAD",
+                        default=None, metavar="REF",
+                        help="lint only Python files changed vs the "
+                             "given git ref (default HEAD), plus "
+                             "untracked ones — the fast PR gate")
     parser.add_argument("--select", metavar="RULES", default=None,
                         help="comma-separated rule ids to run "
                              "(e.g. R001,R004)")
@@ -47,9 +66,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="print the rule catalogue and exit")
 
 
-def _resolve_paths(args: argparse.Namespace) -> list[Path]:
-    if args.paths:
-        return [Path(p) for p in args.paths]
+def _resolve_paths(args: argparse.Namespace,
+                   paths: list[str]) -> list[Path]:
+    if paths:
+        return [Path(p) for p in paths]
     for candidate in DEFAULT_ROOTS:
         root = Path(candidate)
         if root.is_dir():
@@ -66,8 +86,63 @@ def _resolve_baseline(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _git_lines(cmd: list[str]) -> list[str]:
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise LintError(f"{' '.join(cmd)} failed: "
+                        f"{proc.stderr.strip() or proc.returncode}")
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+#: Repo-relative prefixes ``--changed`` never lints: the seeded
+#: violation fixtures *must* contain findings, so a PR touching them
+#: would otherwise turn the fast gate red by design.
+CHANGED_EXCLUDE_PREFIXES = ("tests/lint/fixtures/",)
+
+
+def changed_python_files(ref: str) -> list[Path]:
+    """Python files changed vs ``ref`` plus untracked ones.
+
+    Deleted files are filtered out (``--diff-filter=d`` and the
+    existence check) — there is nothing left to lint.
+    """
+    names = _git_lines(["git", "diff", "--name-only", "--diff-filter=d",
+                        ref, "--"])
+    names += _git_lines(["git", "ls-files", "--others",
+                         "--exclude-standard"])
+    seen: set[str] = set()
+    out: list[Path] = []
+    for name in names:
+        if not name.endswith(".py") or name in seen:
+            continue
+        if name.startswith(CHANGED_EXCLUDE_PREFIXES):
+            continue
+        seen.add(name)
+        path = Path(name)
+        if path.is_file():
+            out.append(path)
+    return out
+
+
+def _run_effects(args: argparse.Namespace, paths: list[str]) -> int:
+    """The ``effects`` mode: emit the JSON effect report."""
+    engine = LintEngine(rules=[])
+    modules, parse_failures = engine.collect(
+        _resolve_paths(args, paths))
+    program = engine.build_program(modules)
+    report = program.effect_report()
+    report["parse_failures"] = [f.rel for f in parse_failures]
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
+    paths = list(args.paths)
+    effects_mode = bool(paths) and paths[0] == "effects"
+    if effects_mode:
+        paths = paths[1:]
+
     try:
         select = None if args.select is None else \
             [s.strip() for s in args.select.split(",") if s.strip()]
@@ -85,9 +160,26 @@ def run(args: argparse.Namespace) -> int:
             print(f"{rule.rule_id}  {rule.title}")
         return 0
 
-    engine = LintEngine(rules=rules)
     try:
-        findings = engine.run(_resolve_paths(args))
+        if effects_mode:
+            return _run_effects(args, paths)
+
+        if args.changed is not None:
+            if paths:
+                print("error: --changed and explicit paths are "
+                      "mutually exclusive", file=sys.stderr)
+                return 2
+            changed = changed_python_files(args.changed)
+            if not changed:
+                print(f"no Python files changed vs {args.changed}; "
+                      f"nothing to lint")
+                return 0
+            scan_paths: list[Path] = changed
+        else:
+            scan_paths = _resolve_paths(args, paths)
+
+        engine = LintEngine(rules=rules)
+        findings = engine.run(scan_paths)
     except (LintError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -115,7 +207,25 @@ def run(args: argparse.Namespace) -> int:
         except BaselineError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        orphans = baseline.unmatched(findings,
+                                     scanned_rels=engine.last_scanned)
+        if args.prune_baseline:
+            pruned = baseline.prune(findings,
+                                    scanned_rels=engine.last_scanned)
+            baseline.save(baseline_path)
+            print(f"pruned {pruned} orphaned suppression(s) from "
+                  f"{baseline_path}")
+        else:
+            for rule, rel, snippet in orphans:
+                print(f"warning: orphaned baseline entry "
+                      f"{rule} {rel}: {snippet!r} no longer matches "
+                      f"any finding (run --prune-baseline)",
+                      file=sys.stderr)
         findings, suppressed = baseline.filter(findings)
+    elif args.prune_baseline:
+        print("error: --prune-baseline needs an existing baseline file",
+              file=sys.stderr)
+        return 2
 
     if args.output_format == "json":
         print(json.dumps({

@@ -6,6 +6,17 @@ wrapped in a :class:`LintContext`.  Rule scoping works on a
 by stripping any leading ``src/repro/`` / ``repro/`` components, so the
 same rules fire identically on the real tree and on test fixtures that
 mimic its layout.
+
+Two rule tiers share the walk.  Per-file rules see only their module.
+Flow-aware rules (``needs_program = True``) additionally get a
+:class:`~repro.lint.effects.Program` — call graph, transitive effect
+table and parallel-stage roots — built once over *every* parsed file of
+the scan, so cross-module properties (stage purity, RNG ownership) are
+checked against the same file set the per-file rules saw.
+
+A rule that *crashes* raises :class:`LintError` (naming the rule and
+file) rather than leaking a traceback, so the CLI can report analyzer
+breakage as exit 2, distinct from findings (exit 1).
 """
 
 from __future__ import annotations
@@ -13,10 +24,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, iter_rules
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.effects import Program
 
 #: Directory names never scanned.
 SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
@@ -27,7 +41,7 @@ SKIP_REL_PREFIXES = ("lint/",)
 
 
 class LintError(ValueError):
-    """Raised for unusable scan targets."""
+    """Raised for unusable scan targets or analyzer crashes."""
 
 
 @dataclass(frozen=True)
@@ -39,6 +53,19 @@ class LintContext:
     source: str
     tree: ast.Module
     lines: tuple[str, ...] = field(default_factory=tuple)
+    #: Whole-scan analysis (call graph, effects, stage roots); present
+    #: whenever a selected rule declares ``needs_program``.
+    program: "Program | None" = None
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One successfully parsed file of a scan."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
 
 
 def _normalise_rel(rel: str) -> str:
@@ -93,27 +120,88 @@ def _iter_python_files(root: Path) -> Iterator[tuple[Path, str]]:
         yield path, _recover_rel(path, _normalise_rel("/".join(parts)))
 
 
+def _syntax_finding(path: Path, rel: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id="E000",
+        message=f"syntax error: {exc.msg}",
+        path=str(path), rel=rel,
+        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+        snippet="")
+
+
 @dataclass
 class LintEngine:
     """Runs a rule set over a list of scan roots."""
 
     rules: list[Rule] = field(default_factory=iter_rules)
+    #: Package-relative paths of the last ``run()``'s scanned files
+    #: (used by the CLI to restrict baseline-orphan detection to files
+    #: the scan actually covered).
+    last_scanned: set[str] = field(default_factory=set)
 
-    def run(self, paths: Iterable[Path | str]) -> list[Finding]:
-        """Lint every Python file under ``paths``; returns all findings."""
+    @property
+    def needs_program(self) -> bool:
+        """Whether any selected rule wants whole-scan analysis."""
+        return any(rule.needs_program for rule in self.rules)
+
+    def collect(self, paths: Iterable[Path | str]) \
+            -> tuple[list[ParsedModule], list[Finding]]:
+        """Parse every Python file under ``paths`` exactly once.
+
+        Returns the parsed modules plus E000 findings for files that do
+        not parse (those are excluded from program analysis).
+        """
+        modules: list[ParsedModule] = []
         findings: list[Finding] = []
+        seen: set[Path] = set()
         for root in paths:
             for path, rel in _iter_python_files(Path(root)):
                 if rel.startswith(SKIP_REL_PREFIXES):
                     continue
-                findings.extend(self.run_file(path, rel))
+                resolved = path.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                try:
+                    source = Path(path).read_text()
+                except OSError as exc:
+                    raise LintError(f"cannot read {path}: {exc}")
+                try:
+                    tree = ast.parse(source)
+                except SyntaxError as exc:
+                    findings.append(_syntax_finding(path, rel, exc))
+                    continue
+                modules.append(ParsedModule(path=path, rel=rel,
+                                            source=source, tree=tree))
+        return modules, findings
+
+    def build_program(self, modules: list[ParsedModule]) -> "Program":
+        """Whole-scan call-graph/effect analysis over parsed modules."""
+        from repro.lint.effects import Program
+        try:
+            return Program([(str(m.path), m.rel, m.tree)
+                            for m in modules])
+        except RecursionError as exc:  # pragma: no cover - safety net
+            raise LintError(f"effect analysis crashed: {exc!r}")
+
+    def run(self, paths: Iterable[Path | str]) -> list[Finding]:
+        """Lint every Python file under ``paths``; returns all findings."""
+        modules, findings = self.collect(paths)
+        self.last_scanned = {m.rel for m in modules}
+        program = self.build_program(modules) if self.needs_program \
+            else None
+        for module in modules:
+            findings.extend(self._check_module(module, program))
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
     def run_file(self, path: Path, rel: str | None = None) -> list[Finding]:
         """Lint a single file."""
         rel = _normalise_rel(rel if rel is not None else path.name)
-        source = Path(path).read_text()
+        try:
+            source = Path(path).read_text()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}")
         return self.run_source(source, path=Path(path), rel=rel)
 
     def run_source(self, source: str, path: Path | str = "<memory>",
@@ -124,16 +212,29 @@ class LintEngine:
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
-            return [Finding(
-                rule_id="E000",
-                message=f"syntax error: {exc.msg}",
-                path=str(path), rel=rel,
-                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
-                snippet="")]
-        ctx = LintContext(path=path, rel=rel, source=source, tree=tree,
-                          lines=tuple(source.splitlines()))
+            return [_syntax_finding(path, rel, exc)]
+        module = ParsedModule(path=path, rel=rel, source=source, tree=tree)
+        program = self.build_program([module]) if self.needs_program \
+            else None
+        return sorted(self._check_module(module, program),
+                      key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+    def _check_module(self, module: ParsedModule,
+                      program: "Program | None") -> list[Finding]:
+        ctx = LintContext(path=module.path, rel=module.rel,
+                          source=module.source, tree=module.tree,
+                          lines=tuple(module.source.splitlines()),
+                          program=program)
         findings: list[Finding] = []
         for rule in self.rules:
-            if rule.applies(rel):
+            if not rule.applies(module.rel):
+                continue
+            try:
                 findings.extend(rule.check(ctx))
+            except LintError:
+                raise
+            except Exception as exc:
+                raise LintError(
+                    f"internal error: rule {rule.rule_id} crashed on "
+                    f"{module.path}: {exc!r}")
         return findings

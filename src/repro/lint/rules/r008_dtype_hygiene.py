@@ -1,0 +1,65 @@
+"""R008: numpy allocations in PHY hot paths must pin their dtype.
+
+``np.zeros(n)`` silently allocates float64.  In the PHY kernels that is
+never what the signal chain wants: IQ buffers are complex64, LLRs and
+soft bits are float32, bit vectors are uint8 — and a dtype-less
+allocation entering a chain of complex64 math upcasts *everything*
+downstream to complex128, doubling memory traffic and silently changing
+numerical results between code paths.  The upcoming vectorized batch
+kernels (ROADMAP) make this worse: one sloppy scratch buffer poisons a
+whole batch.
+
+Flags, inside ``phy/`` and ``radio/``, any ``np.zeros`` / ``np.empty``
+/ ``np.ones`` / ``np.full`` / ``np.zeros_like``-family call that pins
+no dtype (neither a ``dtype=`` keyword nor the positional dtype slot).
+The ``_like`` variants are exempt — they inherit their prototype's
+dtype, which is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: allocator leaf name -> index of the positional dtype slot.
+ALLOCATORS = {"zeros": 1, "empty": 1, "ones": 1, "full": 2}
+
+#: Package-relative prefixes where allocation dtype is load-bearing.
+HOT_PREFIXES = ("phy/", "radio/")
+
+
+@register
+class DtypeHygieneRule(Rule):
+    """Flag dtype-less numpy allocations in PHY hot paths."""
+
+    rule_id = "R008"
+    title = "dtype-less numpy allocation in a PHY hot path"
+
+    def applies(self, rel: str) -> bool:
+        return rel.startswith(HOT_PREFIXES)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            leaf = name.split(".")[-1]
+            if leaf not in ALLOCATORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > ALLOCATORS[leaf]:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"'{name}(...)' allocates float64 by default: PHY "
+                f"buffers must pin their dtype (complex64 IQ, float32 "
+                f"soft values, uint8 bits) or downstream math silently "
+                f"upcasts")

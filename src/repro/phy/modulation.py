@@ -119,7 +119,7 @@ def demodulate_soft(symbols: np.ndarray, modulation: str | ModulationScheme,
     points = constellation(scheme)
     # distances: (n_symbols, n_points)
     d2 = np.abs(syms[:, None] - points[None, :]) ** 2
-    llrs = np.zeros((syms.size, qm))
+    llrs = np.zeros((syms.size, qm), dtype=np.float64)
     values = np.arange(points.size)
     for b in range(qm):
         bit = (values >> (qm - 1 - b)) & 1

@@ -45,7 +45,7 @@ def reliability_order(n: int) -> tuple[int, ...]:
         raise PolarError(f"polar exponent out of range: {n}")
     size = 1 << n
     indices = np.arange(size)
-    weights = np.zeros(size)
+    weights = np.zeros(size, dtype=np.float64)
     for j in range(n):
         weights += ((indices >> j) & 1) * (2.0 ** (j / 4.0))
     order = np.argsort(weights, kind="stable")
@@ -134,7 +134,7 @@ def encode(info_bits: np.ndarray, code: PolarCode) -> np.ndarray:
 
 def _llrs_to_mother(llrs: np.ndarray, code: PolarCode) -> np.ndarray:
     """Undo rate matching: fold repetitions, pin shortened bits to zero."""
-    out = np.zeros(code.block_len)
+    out = np.zeros(code.block_len, dtype=np.float64)
     base = min(code.rate_matched_len, code.block_len)
     out[:base] = llrs[:base]
     if code.rate_matched_len > code.block_len:
@@ -156,7 +156,7 @@ def _sc_decode(llrs: np.ndarray, frozen_mask: np.ndarray) -> np.ndarray:
     n = size.bit_length() - 1
     # llr_store[s] holds the LLRs entering stage s (length N each);
     # bit_store[s] holds partial-sum bits leaving stage s.
-    llr_store = [np.zeros(size) for _ in range(n + 1)]
+    llr_store = [np.zeros(size, dtype=np.float64) for _ in range(n + 1)]
     bit_store = [np.zeros(size, dtype=np.uint8) for _ in range(n + 1)]
     llr_store[n][:] = llrs
     u_hat = np.zeros(size, dtype=np.uint8)

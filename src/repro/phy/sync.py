@@ -164,7 +164,7 @@ class FrameSynchronizer:
         seq = sequence[::-1].conj()
         raw = np.convolve(samples, seq, mode="valid")
         # Normalise by local energy so the metric is SNR-comparable.
-        window = np.ones(sequence.size)
+        window = np.ones(sequence.size, dtype=np.float64)
         energy = np.convolve(np.abs(samples) ** 2, window, mode="valid")
         norm = np.sqrt(np.maximum(energy, 1e-12) * sequence.size)
         return np.abs(raw) / norm

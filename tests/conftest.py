@@ -3,8 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.core.sanitizer import Sanitizer
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator; reseed per test for isolation."""
     return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def nrsan() -> Sanitizer:
+    """An enabled nrsan sanitizer: pass as ``NRScope(sanitizer=nrsan)``
+    (or to ``SlotRuntime``) to run the session instrumented — tracked
+    snapshots become write-guarded and parallel-stage RNG draws trip."""
+    return Sanitizer(enabled=True)

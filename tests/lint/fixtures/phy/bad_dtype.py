@@ -1,0 +1,13 @@
+"""R008 fixture: dtype-less numpy allocations in a PHY hot path."""
+
+import numpy as np
+
+
+def scratch_buffers(n):
+    iq = np.zeros(n)
+    work = np.empty((n, 4))
+    window = np.ones(n)
+    fill = np.full((n, 2), 0.5)
+    pinned = np.zeros(n, dtype=np.complex64)
+    inherited = np.zeros_like(pinned)
+    return iq, work, window, fill, pinned, inherited

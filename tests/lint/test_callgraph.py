@@ -1,0 +1,194 @@
+"""Unit tests for the static call-graph builder."""
+
+import ast
+import textwrap
+
+from repro.lint.callgraph import (
+    CallGraph,
+    annotation_ref,
+    dotted_name,
+    module_rel,
+)
+
+
+def build(*modules):
+    """Build a graph from (rel, source) pairs."""
+    return CallGraph.build([
+        (rel, rel, ast.parse(textwrap.dedent(source)))
+        for rel, source in modules])
+
+
+def edge_names(graph, qualname):
+    return {edge.callee for edge in graph.callees(qualname)}
+
+
+class TestHelpers:
+    def test_dotted_name(self):
+        expr = ast.parse("a.b.c").body[0].value
+        assert dotted_name(expr) == "a.b.c"
+        assert dotted_name(ast.parse("f()").body[0].value) is None
+
+    def test_module_rel(self):
+        assert module_rel("repro.core.runtime") == "core/runtime.py"
+        assert module_rel("repro.constants") == "constants.py"
+
+    def test_annotation_ref_forms(self):
+        def ref(src):
+            return annotation_ref(ast.parse(src, mode="eval").body)
+
+        assert ref("GridDciDecoder").name == "GridDciDecoder"
+        assert ref("Optional[Decoder]").name == "Decoder"
+        assert ref("Decoder | None").name == "Decoder"
+        assert ref("'Decoder'").name == "Decoder"
+        mapped = ref("dict[int, TrackedUe]")
+        assert mapped.kind == "map" and mapped.name == "TrackedUe"
+        seq = ref("list[TrackedUe]")
+        assert seq.kind == "seq" and seq.name == "TrackedUe"
+        assert ref("None") is None
+        assert ref("int") is not None  # unknown classes resolve nowhere
+
+
+class TestResolution:
+    def test_local_and_imported_functions(self):
+        graph = build(
+            ("core/a.py", """
+             from repro.core.b import helper
+
+             def local():
+                 pass
+
+             def caller():
+                 local()
+                 helper()
+             """),
+            ("core/b.py", """
+             def helper():
+                 pass
+             """))
+        assert edge_names(graph, "core/a.py::caller") == {
+            "core/a.py::local", "core/b.py::helper"}
+
+    def test_constructor_resolves_to_init(self):
+        graph = build(("core/a.py", """
+            class Widget:
+                def __init__(self):
+                    pass
+
+            def make():
+                return Widget()
+            """))
+        assert edge_names(graph, "core/a.py::make") == {
+            "core/a.py::Widget.__init__"}
+
+    def test_self_method_and_base_class(self):
+        graph = build(("core/a.py", """
+            class Base:
+                def shared(self):
+                    pass
+
+            class Child(Base):
+                def run(self):
+                    self.shared()
+                    self.own()
+
+                def own(self):
+                    pass
+            """))
+        assert edge_names(graph, "core/a.py::Child.run") == {
+            "core/a.py::Base.shared", "core/a.py::Child.own"}
+
+    def test_param_annotation_pins_receiver(self):
+        graph = build(("core/a.py", """
+            class Decoder:
+                def decode(self):
+                    pass
+
+            def run(decoder: Decoder):
+                decoder.decode()
+            """))
+        assert edge_names(graph, "core/a.py::run") == {
+            "core/a.py::Decoder.decode"}
+
+    def test_self_attr_assignment_pins_type(self):
+        graph = build(("core/a.py", """
+            class Decoder:
+                def decode(self):
+                    pass
+
+            class Scope:
+                def __init__(self):
+                    self.decoder = Decoder()
+
+                def run(self):
+                    self.decoder.decode()
+            """))
+        assert "core/a.py::Decoder.decode" in \
+            edge_names(graph, "core/a.py::Scope.run")
+
+    def test_dict_subscript_yields_value_class(self):
+        graph = build(("core/a.py", """
+            class TrackedUe:
+                def touch(self):
+                    pass
+
+            def mark(tracked: dict[int, TrackedUe], rnti: int):
+                tracked[rnti].touch()
+            """))
+        assert edge_names(graph, "core/a.py::mark") == {
+            "core/a.py::TrackedUe.touch"}
+
+    def test_local_assignment_chain(self):
+        graph = build(("core/a.py", """
+            class TrackedUe:
+                def touch(self):
+                    pass
+
+            def mark(tracked: dict[int, TrackedUe], rnti: int):
+                ue = tracked[rnti]
+                ue.touch()
+            """))
+        assert edge_names(graph, "core/a.py::mark") == {
+            "core/a.py::TrackedUe.touch"}
+
+    def test_unresolved_calls_are_opaque_not_guessed(self):
+        graph = build(("core/a.py", """
+            import numpy as np
+
+            def run(thing):
+                thing.mystery()
+                np.zeros(4)
+            """))
+        assert edge_names(graph, "core/a.py::run") == set()
+        names = {c.name for c in graph.opaque_calls("core/a.py::run")}
+        assert names == {"thing.mystery", "np.zeros"}
+        assert graph.n_opaque == 2
+
+    def test_nested_defs_fold_into_enclosing(self):
+        graph = build(("core/a.py", """
+            def target():
+                pass
+
+            def outer():
+                def inner():
+                    target()
+                return inner
+            """))
+        assert "core/a.py::target" in edge_names(graph, "core/a.py::outer")
+
+    def test_resolve_callable_expr(self):
+        graph = build(("core/a.py", """
+            class Scope:
+                def _stage_dci(self, ctx):
+                    pass
+
+            def free(ctx):
+                pass
+            """))
+        name = ast.parse("free", mode="eval").body
+        assert graph.resolve_callable_expr(
+            "core/a.py", name).qualname == "core/a.py::free"
+        attr = ast.parse("self._stage_dci", mode="eval").body
+        assert graph.resolve_callable_expr(
+            "core/a.py", attr, cls="Scope").qualname \
+            == "core/a.py::Scope._stage_dci"
+        assert graph.resolve_callable_expr("core/a.py", attr) is None

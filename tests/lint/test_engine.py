@@ -22,7 +22,34 @@ class TestEngine:
     def test_fixture_tree_violates_every_rule(self, engine, fixtures_dir):
         findings = engine.run([fixtures_dir])
         seen = {f.rule_id for f in findings}
-        assert {"R001", "R002", "R003", "R004", "R005"} <= seen
+        assert {"R001", "R002", "R003", "R004",
+                "R005", "R006", "R007", "R008"} <= seen
+
+    def test_findings_independent_of_file_order(self, engine, fixtures_dir):
+        """Flow-aware rules see the whole program: linting the tree must
+        produce the same findings regardless of collection order."""
+        files = sorted(p for p in fixtures_dir.rglob("*.py"))
+        forward = engine.run(files)
+        backward = engine.run(list(reversed(files)))
+        as_keys = lambda fs: sorted(  # noqa: E731
+            (f.rule_id, f.rel, f.line, f.message) for f in fs)
+        assert as_keys(forward) == as_keys(backward)
+        assert forward  # the comparison is not vacuous
+
+    def test_rule_crash_becomes_lint_error(self, fixtures_dir):
+        from repro.lint.engine import LintError
+        from repro.lint.registry import Rule
+
+        class Exploding(Rule):
+            rule_id = "R999"
+            title = "boom"
+
+            def check(self, ctx):
+                raise ValueError("internal inconsistency")
+
+        engine = LintEngine(rules=[Exploding()])
+        with pytest.raises(LintError, match="R999 crashed"):
+            engine.run([fixtures_dir])
 
     def test_rel_normalisation_strips_src_repro(self, engine, tmp_path):
         tree = tmp_path / "src" / "repro" / "gnb"
@@ -124,6 +151,27 @@ class TestBaseline:
         assert entry["rule"] == "R004"
         assert entry["path"] == "gnb/mod.py"
         assert "justification" in entry
+
+    def test_unmatched_reports_orphaned_entries(self):
+        baseline = Baseline.from_findings([self._finding()])
+        orphans = baseline.unmatched([])
+        assert len(orphans) == 1 and orphans[0][0] == "R004"
+
+    def test_unmatched_ignores_unscanned_files(self):
+        """An entry for a file outside the scan scope is not an orphan —
+        a ``--changed`` run must not flag the rest of the baseline."""
+        baseline = Baseline.from_findings([self._finding()])
+        assert baseline.unmatched([], scanned_rels={"phy/other.py"}) == []
+
+    def test_prune_drops_unused_budget(self):
+        used = self._finding()
+        stale = self._finding(rel="gnb/gone.py")
+        baseline = Baseline.from_findings([used, used, stale])
+        pruned = baseline.prune([used])
+        assert pruned == 2  # one surplus count + one whole stale entry
+        fresh, suppressed = baseline.filter([used])
+        assert fresh == [] and suppressed == [used]
+        assert baseline.unmatched([used]) == []
 
     def test_committed_baseline_is_valid(self):
         committed = Path(__file__).resolve().parents[2] \

@@ -3,6 +3,8 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.cli import main as repro_main
 from repro.lint.cli import main as lint_main
 
@@ -17,7 +19,8 @@ class TestLintCli:
     def test_fixture_tree_exits_nonzero(self, fixtures_dir, capsys):
         assert lint_main([str(fixtures_dir)]) == 1
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        for rule_id in ("R001", "R002", "R003", "R004",
+                        "R005", "R006", "R007", "R008"):
             assert rule_id in out
 
     def test_single_rule_selection(self, fixtures_dir, capsys):
@@ -50,8 +53,21 @@ class TestLintCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        for rule_id in ("R001", "R002", "R003", "R004",
+                        "R005", "R006", "R007", "R008"):
             assert rule_id in out
+
+    def test_rule_crash_exits_two(self, fixtures_dir, capsys,
+                                  monkeypatch):
+        """An analyzer bug is exit 2 — never a fake-green exit 0."""
+        from repro.lint.rules.r001_magic_numbers import MagicNumberRule
+
+        def explode(self, ctx):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setattr(MagicNumberRule, "check", explode)
+        assert lint_main([str(fixtures_dir)]) == 2
+        assert "crashed" in capsys.readouterr().err
 
     def test_baseline_workflow(self, fixtures_dir, tmp_path, capsys):
         """write-baseline grandfathers everything; reruns go green;
@@ -85,6 +101,130 @@ class TestLintCli:
         rewritten = json.loads(baseline.read_text())
         assert any(e["justification"] == "grandfathered: see PR 4"
                    for e in rewritten["entries"])
+
+
+class TestEffectsMode:
+    def test_effects_report_on_repo(self, capsys):
+        assert lint_main(["effects", str(REPO_SRC)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stage_roots"] == \
+            ["core/scope.py::NRScope._stage_dci"]
+        frontier = report["purity_frontier"][0]
+        assert frontier["pure"] is True
+        assert report["functions"] > 100
+        assert report["parse_failures"] == []
+
+    def test_effects_report_flags_impure_fixture(self, fixtures_dir,
+                                                 capsys):
+        assert lint_main(["effects", str(fixtures_dir)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        impure = [f for f in report["purity_frontier"] if not f["pure"]]
+        assert impure
+        effects = {v["effect"] for f in impure for v in f["violations"]}
+        assert "mutates-tracked" in effects
+
+    def test_effects_via_repro_cli(self, capsys):
+        assert repro_main(["lint", "effects", str(REPO_SRC)]) == 0
+        assert "purity_frontier" in capsys.readouterr().out
+
+
+class TestChangedMode:
+    def _git(self, *argv, cwd):
+        import subprocess
+        subprocess.run(["git", *argv], cwd=cwd, check=True,
+                       capture_output=True,
+                       env={"GIT_AUTHOR_NAME": "t",
+                            "GIT_AUTHOR_EMAIL": "t@t",
+                            "GIT_COMMITTER_NAME": "t",
+                            "GIT_COMMITTER_EMAIL": "t@t",
+                            "HOME": str(cwd), "PATH": "/usr/bin:/bin"})
+
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        self._git("init", "-q", cwd=tmp_path)
+        tree = tmp_path / "src" / "repro" / "gnb"
+        tree.mkdir(parents=True)
+        (tree / "clean.py").write_text("X = 0\n")
+        self._git("add", "-A", cwd=tmp_path)
+        self._git("commit", "-qm", "seed", cwd=tmp_path)
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_no_changes_is_clean_noop(self, repo, capsys):
+        assert lint_main(["--changed"]) == 0
+        assert "nothing to lint" in capsys.readouterr().out
+
+    def test_untracked_violation_is_caught(self, repo, capsys):
+        bad = repo / "src" / "repro" / "gnb" / "fresh.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert lint_main(["--changed"]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_modified_tracked_file_is_caught(self, repo, capsys):
+        target = repo / "src" / "repro" / "gnb" / "clean.py"
+        target.write_text("import random\nrandom.random()\n")
+        assert lint_main(["--changed", "HEAD"]) == 1
+        assert "clean.py" in capsys.readouterr().out
+
+    def test_changed_plus_paths_is_usage_error(self, repo, capsys):
+        assert lint_main(["--changed", "--", "src"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_seeded_fixtures_are_exempt_from_the_gate(self, repo,
+                                                      capsys):
+        """A PR touching the violation fixtures must not turn the fast
+        gate red: those files contain findings by design."""
+        fixture = repo / "tests" / "lint" / "fixtures" / "phy"
+        fixture.mkdir(parents=True)
+        (fixture / "seeded.py").write_text("import time\nt = time.time()\n")
+        assert lint_main(["--changed"]) == 0
+        assert "nothing to lint" in capsys.readouterr().out
+
+
+class TestBaselineOrphans:
+    def test_orphan_warning_and_prune(self, fixtures_dir, tmp_path,
+                                      capsys):
+        """A baselined-then-fixed finding warns, then --prune-baseline
+        rewrites the file and the warning goes away."""
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(fixtures_dir), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        data = json.loads(baseline.read_text())
+        data["entries"].append({
+            "rule": "R001", "path": "ue/ghost.py",
+            "snippet": "x = 1024", "count": 1,
+            "justification": "file was deleted"})
+        baseline.write_text(json.dumps(data))
+        capsys.readouterr()
+
+        # The ghost entry's directory was never scanned, so a scoped
+        # run stays quiet about it...
+        assert lint_main([str(fixtures_dir), "--baseline",
+                          str(baseline)]) == 0
+        assert "orphaned" not in capsys.readouterr().err
+
+        # ...but a scan that *does* cover ue/ flags the dead entry.
+        ghost_root = tmp_path / "tree" / "ue"
+        ghost_root.mkdir(parents=True)
+        (ghost_root / "other.py").write_text("Y = 1\n")
+        assert lint_main([str(fixtures_dir), str(ghost_root.parent),
+                          "--baseline", str(baseline)]) == 0
+        assert "orphaned baseline entry" in capsys.readouterr().err
+
+        assert lint_main([str(fixtures_dir), str(ghost_root.parent),
+                          "--baseline", str(baseline),
+                          "--prune-baseline"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        rewritten = json.loads(baseline.read_text())
+        assert not any(e["path"] == "ue/ghost.py"
+                       for e in rewritten["entries"])
+
+    def test_prune_without_baseline_is_usage_error(self, fixtures_dir,
+                                                   tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert lint_main([str(fixtures_dir), "--baseline", str(missing),
+                          "--prune-baseline"]) == 2
+        assert "existing baseline" in capsys.readouterr().err
 
 
 class TestReproCliIntegration:

@@ -236,6 +236,79 @@ class TestR002BitContract:
                                          rel="phy/dci.py")
         assert not findings
 
+    def test_nested_codec_width_mismatch_in_sub_message(self):
+        """A nested codec is checked on its own: the outer message
+        delegating to it must not mask the inner asymmetry."""
+        src = """
+        class Sub:
+            def encode_into(self, w):
+                w.write(self.kind, 3)
+                w.write(self.level, 5)
+
+            @classmethod
+            def decode_from(cls, reader):
+                return cls(kind=reader.read(3), level=reader.read(4))
+
+        class Outer:
+            def encode(self):
+                w = BitWriter()
+                w.write(self.a, 2)
+                self.sub.encode_into(w)
+                return w.to_bits()
+
+            @classmethod
+            def decode_fields(cls, reader):
+                return cls(a=reader.read(2),
+                           sub=Sub.decode_from(reader))
+        """
+        findings = lint(src, "rrc/messages.py")
+        r002 = [f for f in findings if f.rule_id == "R002"]
+        assert r002, findings
+        assert any("5 bits" in f.message and "4 bits" in f.message
+                   for f in r002)
+
+    def test_layout_width_missing_from_size_config_is_flagged(self):
+        """A layout width read off DciSizeConfig must name a field the
+        config actually declares — the cross-check miss."""
+        src = """
+        class Dci:
+            freq: int
+
+        class DciSizeConfig:
+            freq_bits: int
+
+        def field_layout(fmt, cfg):
+            return [("freq", cfg.freq_bits_typo)]
+
+        def pack(dci, cfg):
+            return list(field_layout(dci, cfg))
+
+        def unpack(bits, cfg):
+            return list(field_layout(None, cfg))
+        """
+        findings = lint(src, "phy/dci.py")
+        assert any(f.rule_id == "R002" for f in findings)
+
+    def test_layout_width_present_on_size_config_is_clean(self):
+        src = """
+        class Dci:
+            freq: int
+
+        class DciSizeConfig:
+            freq_bits: int
+
+        def field_layout(fmt, cfg):
+            return [("freq", cfg.freq_bits)]
+
+        def pack(dci, cfg):
+            return list(field_layout(dci, cfg))
+
+        def unpack(bits, cfg):
+            return list(field_layout(None, cfg))
+        """
+        findings = lint(src, "phy/dci.py")
+        assert not [f for f in findings if f.rule_id == "R002"]
+
 
 class TestR003FloatEquality:
     def test_flags_float_equality_in_phy(self):
@@ -379,3 +452,236 @@ class TestR005Determinism:
         """
         findings = lint(src, "analysis/metrics.py")
         assert not findings
+
+
+STAGE_PREAMBLE = """
+class Stage:
+    def __init__(self, name, fn, parallel=False):
+        self.name = name
+        self.fn = fn
+        self.parallel = parallel
+
+
+def parallel_stage(fn):
+    return fn
+"""
+
+
+class TestR006StagePurity:
+    def lint_stage(self, body):
+        return lint(STAGE_PREAMBLE + textwrap.dedent(body),
+                    "core/pipeline.py")
+
+    def r006(self, findings):
+        return [f for f in findings if f.rule_id == "R006"]
+
+    def test_decorated_root_with_tracked_mutation(self):
+        findings = self.lint_stage("""
+        @parallel_stage
+        def decode(ctx):
+            ctx.tracked[1].last_seen_s = 2.0
+        """)
+        r006 = self.r006(findings)
+        assert r006 and "mutates-tracked" in r006[0].message
+
+    def test_stage_call_root_with_transitive_rng(self):
+        findings = self.lint_stage("""
+        import numpy as np
+
+
+        def helper():
+            return np.random.default_rng().random()
+
+
+        def decode(ctx):
+            return helper()
+
+
+        STAGE = Stage("dci", decode, parallel=True)
+        """)
+        r006 = self.r006(findings)
+        assert r006
+        # The witness chain names the hop and the seed site.
+        assert any("decode -> helper" in f.message for f in r006)
+
+    def test_wall_clock_in_closure(self):
+        findings = self.lint_stage("""
+        import time
+
+
+        @parallel_stage
+        def decode(ctx):
+            return time.time()
+        """)
+        assert any("clock" in f.message for f in self.r006(findings))
+
+    def test_counter_rng_is_allowed(self):
+        findings = self.lint_stage("""
+        def counter_uniform(*fields):
+            return 0.5
+
+
+        @parallel_stage
+        def decode(ctx):
+            return counter_uniform(ctx.slot, 7)
+        """)
+        assert not self.r006(findings)
+
+    def test_pure_stage_is_clean(self):
+        findings = self.lint_stage("""
+        @parallel_stage
+        def decode(ctx):
+            return [u for u in ctx.tracked if u % 2]
+        """)
+        assert not self.r006(findings)
+
+    def test_backbone_effects_do_not_fire(self):
+        """Effects in non-parallel stages are the contract, not a
+        violation."""
+        findings = self.lint_stage("""
+        import numpy as np
+
+
+        def backbone(ctx):
+            return np.random.default_rng(3).random()
+
+
+        STAGE = Stage("sync", backbone)
+        """)
+        assert not self.r006(findings)
+
+
+class TestR007RngOwnership:
+    def r007(self, findings):
+        return [f for f in findings if f.rule_id == "R007"]
+
+    def test_stdlib_random_in_core(self):
+        findings = lint("""
+        import random
+
+        def flip():
+            return random.random()
+        """, "core/decider.py")
+        assert any("unowned global randomness" in f.message
+                   for f in self.r007(findings))
+
+    def test_stdlib_random_import_from_in_core(self):
+        findings = lint("from random import choice\n", "core/decider.py")
+        assert self.r007(findings)
+
+    def test_legacy_np_random_in_core(self):
+        findings = lint("""
+        import numpy as np
+
+        def noise(n):
+            return np.random.randn(n)
+        """, "core/noise.py")
+        assert any("global RNG state" in f.message
+                   for f in self.r007(findings))
+
+    def test_unseeded_default_rng(self):
+        findings = lint("""
+        import numpy as np
+
+        def make():
+            return np.random.default_rng()
+        """, "core/factory.py")
+        assert any("entropy-seeded" in f.message
+                   for f in self.r007(findings))
+
+    def test_fresh_generator_one_shot_draw(self):
+        findings = lint("""
+        import numpy as np
+
+        def decide():
+            return np.random.default_rng(7).random() < 0.5
+        """, "core/decider.py")
+        assert any("discarded" in f.message for f in self.r007(findings))
+
+    def test_seeded_stored_generator_is_clean(self):
+        findings = lint("""
+        import numpy as np
+
+        class Scope:
+            def __init__(self, seed):
+                self._rng = np.random.default_rng(seed)
+
+            def decide(self):
+                return self._rng.random() < 0.5
+        """, "core/scope_like.py")
+        assert not self.r007(findings)
+
+    def test_seeded_generator_in_parallel_closure_is_flagged(self):
+        findings = lint(STAGE_PREAMBLE + textwrap.dedent("""
+        import numpy as np
+
+
+        def decode(ctx):
+            rng = np.random.default_rng(1234)
+            return rng
+
+
+        STAGE = Stage("dci", decode, parallel=True)
+        """), "core/pipeline.py")
+        assert any("reachable from a parallel" in f.message
+                   for f in self.r007(findings))
+
+    def test_not_applied_outside_core(self):
+        findings = lint("""
+        import numpy as np
+
+        def bootstrap():
+            return np.random.default_rng()
+        """, "analysis/resample.py")
+        assert not self.r007(findings)
+
+
+class TestR008DtypeHygiene:
+    def r008(self, findings):
+        return [f for f in findings if f.rule_id == "R008"]
+
+    def test_flags_dtypeless_allocators_in_phy(self):
+        findings = lint("""
+        import numpy as np
+
+        def scratch(n):
+            return np.zeros(n), np.empty(n), np.ones(n), np.full(n, 0.5)
+        """, "phy/kernel.py")
+        assert len(self.r008(findings)) == 4
+
+    def test_dtype_keyword_is_clean(self):
+        findings = lint("""
+        import numpy as np
+
+        def scratch(n):
+            return np.zeros(n, dtype=np.complex64)
+        """, "phy/kernel.py")
+        assert not self.r008(findings)
+
+    def test_positional_dtype_is_clean(self):
+        findings = lint("""
+        import numpy as np
+
+        def scratch(n):
+            return np.zeros(n, np.float32), np.full(n, 0.5, np.float32)
+        """, "phy/kernel.py")
+        assert not self.r008(findings)
+
+    def test_like_variants_are_exempt(self):
+        findings = lint("""
+        import numpy as np
+
+        def scratch(proto):
+            return np.zeros_like(proto), np.empty_like(proto)
+        """, "phy/kernel.py")
+        assert not self.r008(findings)
+
+    def test_applies_to_radio_but_not_analysis(self):
+        src = """
+        import numpy as np
+
+        def scratch(n):
+            return np.zeros(n)
+        """
+        assert self.r008(lint(src, "radio/frontend.py"))
+        assert not self.r008(lint(src, "analysis/metrics.py"))
