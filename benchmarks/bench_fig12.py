@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Standalone runner for the Fig-12 executor/kernel bench.
+
+Equivalent to ``python -m repro.cli bench fig12``; kept here so the
+benchmarks/ directory is the one place to look for perf entry points.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fig12.py [--quick]
+        [--out BENCH_fig12.json] [--slots N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="BENCH_fig12.json")
+    parser.add_argument("--slots", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    from repro.experiments import bench_fig12
+    doc = bench_fig12.main(out_path=args.out, quick=args.quick,
+                           n_slots=args.slots)
+    print(bench_fig12.render(doc))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Mirrors how the released NR-Scope tool is driven from a terminal:
 * ``cells``    - list the built-in cell profiles (section 5.1 testbeds).
 * ``figure``   - regenerate one paper figure's table on stdout.
 * ``survey``   - commercial-cell population survey (sections 5.3.1/6).
+* ``bench``    - repeatable perf benchmarks (``bench fig12`` writes
+  ``BENCH_fig12.json``, the executor x batch-kernel sweep).
 * ``lint``     - the nrlint 3GPP bit-contract/determinism static
   analysis (also available as ``python -m repro.lint``).
 """
@@ -49,12 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sniff.add_argument("--report", action="store_true",
                        help="print the full per-UE session report")
     sniff.add_argument("--executor", default="inline",
-                       choices=["inline", "threaded"],
-                       help="slot runtime executor")
+                       help="slot runtime executor: "
+                            "inline | threaded[:N] | process[:N]")
     sniff.add_argument("--workers", type=int, default=4,
                        help="slot workers for the threaded executor")
     sniff.add_argument("--dci-threads", type=int, default=1,
                        help="DCI decode shards per slot")
+    sniff.add_argument("--no-batch", action="store_true",
+                       help="disable the batched PHY kernels "
+                            "(per-candidate scalar decode)")
     sniff.add_argument("--runtime-stats", action="store_true",
                        help="print per-stage runtime statistics")
 
@@ -72,6 +77,19 @@ def _build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--seconds", type=float, default=600.0)
     survey.add_argument("--seed", type=int, default=0)
 
+    bench = sub.add_parser("bench",
+                           help="run a repeatable perf benchmark")
+    bench.add_argument("name", choices=["fig12"])
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny sweep (CI smoke; not a real "
+                            "measurement)")
+    bench.add_argument("--out", metavar="PATH",
+                       default="BENCH_fig12.json",
+                       help="output JSON document path")
+    bench.add_argument("--slots", type=int, default=None,
+                       help="timed slots per point (default 20, "
+                            "quick 2)")
+
     from repro.lint.cli import add_arguments as add_lint_arguments
     lint = sub.add_parser("lint",
                           help="run the nrlint static-analysis pass")
@@ -87,7 +105,8 @@ def cmd_sniff(args: argparse.Namespace) -> int:
     scope = NRScope.attach(sim, snr_db=args.snr_db,
                            executor=args.executor,
                            n_workers=args.workers,
-                           n_dci_threads=args.dci_threads)
+                           n_dci_threads=args.dci_threads,
+                           batch_kernels=not args.no_batch)
     sim.run(seconds=args.seconds)
     scope.close()
 
@@ -197,6 +216,17 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.name != "fig12":  # pragma: no cover - argparse restricts
+        raise CliError(f"unknown bench: {args.name}")
+    from repro.experiments import bench_fig12
+    doc = bench_fig12.main(out_path=args.out, quick=args.quick,
+                           n_slots=args.slots)
+    print(bench_fig12.render(doc))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run as run_lint
     return run_lint(args)
@@ -204,7 +234,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 _COMMANDS = {"sniff": cmd_sniff, "cells": cmd_cells,
              "figure": cmd_figure, "survey": cmd_survey,
-             "lint": cmd_lint}
+             "bench": cmd_bench, "lint": cmd_lint}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,19 +16,29 @@ HARQ tracking, throughput) is backend-agnostic.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
+from repro.constants import DCI_CRC_LEN
 from repro.core.decode_model import counter_uniform, decode_succeeds, \
     pdcch_bler
 from repro.core.rach_sniffer import TrackedUe
+from repro.phy import polar
+from repro.phy.coreset import SearchSpace
 from repro.phy.dci import Dci, DciError, DciFormat, DciSizeConfig, \
-    dci_payload_size
-from repro.phy.pdcch import PdcchCandidate, candidate_occupied, \
+    dci_payload_size, unpack
+from repro.phy.modulation import QPSK, demodulate_soft_batch
+from repro.phy.numerology import slots_per_frame
+from repro.phy.pdcch import BITS_PER_CCE, PdcchCandidate, \
+    candidate_energies_batch, candidate_occupied, dci_crc_check_batch, \
+    estimate_channel, gather_candidates_batch, occupancy_threshold, \
     try_decode_pdcch
 from repro.phy.resource_grid import ResourceGrid
+from repro.phy.scrambling import descramble_llrs, pdcch_scrambling_init
 from repro.gnb.gnb import DciRecord
 
 
@@ -43,6 +53,28 @@ class DecodedDci:
     dci: Dci
     aggregation_level: int
     from_common_space: bool = False
+
+
+@lru_cache(maxsize=65536)
+def _ue_entry_plan(space: SearchSpace, rnti: int, reduced_slot: int) \
+        -> tuple[tuple[int, int, bool, int], ...]:
+    """One UE's candidate skeleton: ``(level, start, valid, cce_bits)``.
+
+    The 38.213 hash repeats every frame, so the per-slot enumeration a
+    batched decode performs for *every* tracked UE collapses to one
+    cache hit per UE after the first frame.  Keyed on the search space
+    itself (hashable, with an insertion-order-sensitive hash) so the
+    plan preserves the scalar path's exact iteration order.
+    """
+    plan: list[tuple[int, int, bool, int]] = []
+    n_cce = space.coreset.n_cces
+    for level, count in space.candidates_per_level.items():
+        if count == 0:
+            continue
+        for start in space.candidate_cces(level, reduced_slot, rnti):
+            plan.append((level, start, start + level <= n_cce,
+                         ((1 << level) - 1) << start))
+    return tuple(plan)
 
 
 class RecordDciDecoder:
@@ -179,6 +211,228 @@ class GridDciDecoder:
             self.attempts += attempts
         return decoded
 
+    #: Wave sizing for the batched path.  Waves are cut by the
+    #: CCE-claiming replay: a successful decode claims CCEs and may
+    #: disqualify later candidates, so decoding *everything* up front
+    #: wastes work proportional to the tracked-UE count.  A wave decodes
+    #: the next chunk of still-eligible candidates under the claims
+    #: known so far; wave members a new claim later skips are bounded
+    #: waste (< one wave per success).  Waves grow geometrically: when
+    #: claiming terminates the search early only a few small waves ran,
+    #: while a gate-off full sweep quickly reaches the wide, fully
+    #: amortized batches.
+    BATCH_WAVE_INITIAL = 4
+    BATCH_WAVE_MAX = 64
+    #: Entries per lazy gather/energy chunk (Phase 2).
+    BATCH_GATHER_CHUNK = 64
+
+    def decode_slot_batch(self, grid: ResourceGrid, slot_index: int,
+                          tracked: dict[int, TrackedUe],
+                          claimed: set[int] | None = None) \
+            -> list[DecodedDci]:
+        """Batched :meth:`decode_slot`: same outputs, vectorized kernels.
+
+        Candidates are stacked through the batched gather / demod /
+        descramble / polar kernels in claim-aware waves, then the scalar
+        control flow (CCE claiming, energy gate, per-format attempt
+        accounting) is *replayed* over the precomputed blocks.  Decoded
+        DCIs, claiming effects and the ``attempts`` counter are
+        bit-identical to the per-candidate path (enforced by the
+        equivalence tests); only the numpy dispatch count changes.
+        """
+        decoded: list[DecodedDci] = []
+        attempts = 0
+        if claimed is None:
+            claimed = set()
+
+        # Phase 1: enumerate candidates in exact scalar iteration order.
+        # Each entry carries its CCE footprint as an int bitmask so the
+        # replay's claim checks are single AND operations; the shared
+        # ``claimed`` set stays the cross-shard interface.  Per-UE
+        # skeletons come from the frame-periodic plan cache (the hash
+        # only depends on the slot within its frame).
+        reduced_slot = slot_index % slots_per_frame(30)
+        entries: list[tuple[int, int, int, object, bool, int]] = []
+        for rnti in sorted(tracked):
+            space = tracked[rnti].search_space
+            for level, start, valid, cce_bits in _ue_entry_plan(
+                    space, rnti, reduced_slot):
+                entries.append((rnti, level, start, space, valid,
+                                cce_bits))
+        if not entries:
+            return decoded
+        claimed_bits = 0
+        for cce in claimed:
+            claimed_bits |= 1 << cce
+
+        # Phase 2: per-(CORESET, level) batched gather and energies,
+        # computed lazily over chunks of consecutive entries.  Once
+        # claiming saturates the CORESET the replay skips the tail on
+        # claim bits alone, so at high tracked-UE counts most
+        # candidates are never gathered at all (matching the scalar
+        # path, which checks claims before touching the grid).  The
+        # gathered rows are kept for the waves, so symbols leave the
+        # grid exactly once.
+        threshold = occupancy_threshold(self.noise_var)
+        energies = np.zeros(len(entries), dtype=np.float64)
+        values_by_idx: dict[int, np.ndarray] = {}
+        c_init = pdcch_scrambling_init(self.n_id)
+        gather_upto = 0
+
+        def ensure_gathered(upto: int) -> None:
+            """Gather + energy-measure entries up to at least ``upto``
+            (one chunk ahead, grouped per (CORESET, level))."""
+            nonlocal gather_upto
+            if upto < gather_upto:
+                return
+            hi = min(len(entries),
+                     max(upto + 1, gather_upto + self.BATCH_GATHER_CHUNK))
+            chunk_groups: dict[tuple[object, int], list[int]] = {}
+            for idx in range(gather_upto, hi):
+                _, level, _, space, valid, _ = entries[idx]
+                if valid:
+                    chunk_groups.setdefault((space.coreset, level),
+                                            []).append(idx)
+            for (coreset, level), idxs in chunk_groups.items():
+                starts = np.array([entries[i][2] for i in idxs],
+                                  dtype=np.intp)
+                values = gather_candidates_batch(grid, coreset, level,
+                                                 starts)
+                energies[idxs] = candidate_energies_batch(values)
+                for row, i in enumerate(idxs):
+                    values_by_idx[i] = values[row]
+            gather_upto = hi
+
+        def eligible(idx: int) -> bool:
+            """Would the scalar path demodulate entry ``idx`` under the
+            claims known right now?"""
+            _, _, _, _, valid, cce_bits = entries[idx]
+            if not valid:
+                return False
+            if self.use_cce_claiming and cce_bits & claimed_bits:
+                return False
+            if self.use_energy_gate:
+                ensure_gathered(idx)
+                if not energies[idx] > threshold:
+                    return False
+            return True
+
+        blocks: dict[tuple[int, DciFormat], np.ndarray] = {}
+        crc_ok: dict[tuple[int, DciFormat], bool] = {}
+        demodulated: set[int] = set()
+        wave_size = self.BATCH_WAVE_INITIAL
+
+        def decode_wave(from_idx: int) -> None:
+            """Batch-demodulate and polar-decode the next eligible
+            chunk starting at ``from_idx`` (Phases 3+4, per wave)."""
+            nonlocal wave_size
+            wave: list[int] = []
+            for idx in range(from_idx, len(entries)):
+                if idx in demodulated or not eligible(idx):
+                    continue
+                ensure_gathered(idx)  # demod values when the gate is off
+                wave.append(idx)
+                if len(wave) >= wave_size:
+                    break
+            wave_size = min(wave_size * 2, self.BATCH_WAVE_MAX)
+            demodulated.update(wave)
+            # Phase 3: batched demod + descramble per (CORESET, level).
+            wave_groups: dict[tuple[object, int], list[int]] = {}
+            for idx in wave:
+                _, level, _, space, _, _ = entries[idx]
+                wave_groups.setdefault((space.coreset, level),
+                                       []).append(idx)
+            llrs_by_idx: dict[int, np.ndarray] = {}
+            for (coreset, level), idxs in wave_groups.items():
+                sub = np.stack([values_by_idx[i] for i in idxs])
+                if self.equalize:
+                    gains = np.array(
+                        [estimate_channel(
+                            grid, coreset,
+                            PdcchCandidate(first_cce=entries[i][2],
+                                           aggregation_level=level),
+                            self.n_id, slot_index) for i in idxs],
+                        dtype=np.complex128)
+                    sub = sub / gains[:, None]
+                    # Demodulating at unit noise then dividing per row
+                    # is the scalar (d1-d0)/noise_var to the last bit:
+                    # x/1.0 is exact, so each LLR still sees one
+                    # division by its effective noise variance.
+                    nv_eff = np.maximum(
+                        self.noise_var / np.maximum(np.abs(gains) ** 2,
+                                                    1e-9), 1e-12)
+                    llrs = demodulate_soft_batch(sub, QPSK, 1.0)
+                    llrs = llrs / nv_eff[:, None]
+                else:
+                    llrs = demodulate_soft_batch(
+                        sub, QPSK, max(self.noise_var, 1e-12))
+                llrs = descramble_llrs(llrs, c_init)
+                for row, i in enumerate(idxs):
+                    llrs_by_idx[i] = llrs[row]
+            # Phase 4: batched polar per level — both DCI formats share
+            # the level's mother code, so they ride one joint SC
+            # traversal instead of one call per format.
+            for (_, level), idxs in wave_groups.items():
+                n_coded = level * BITS_PER_CCE
+                fmts = []
+                codes = []
+                for fmt in (DciFormat.DL_1_1, DciFormat.UL_0_1):
+                    k = dci_payload_size(fmt, self.dci_cfg) + DCI_CRC_LEN
+                    if k <= n_coded:
+                        fmts.append(fmt)
+                        codes.append(polar.construct(k, n_coded))
+                if not fmts:
+                    continue
+                matrix = np.stack([llrs_by_idx[i] for i in idxs])
+                outs = polar.decode_batch_joint(matrix, tuple(codes))
+                # The CRC verdicts ride along in one GF(2) matrix
+                # product per format (identical booleans to the serial
+                # per-attempt check the replay used to run).
+                rntis = np.array([entries[i][0] for i in idxs],
+                                 dtype=np.int64)
+                for fmt, out in zip(fmts, outs):
+                    oks = dci_crc_check_batch(out, rntis)
+                    for row, i in enumerate(idxs):
+                        blocks[(i, fmt)] = out[row]
+                        crc_ok[(i, fmt)] = bool(oks[row])
+
+        # Phase 5: replay the scalar control flow, decoding lazily in
+        # claim-aware waves.
+        for idx, (rnti, level, start, _, valid, cce_bits) \
+                in enumerate(entries):
+            if not valid:
+                if not self.use_energy_gate:
+                    attempts += 2  # both formats tried, both fail early
+                continue
+            if self.use_cce_claiming and cce_bits & claimed_bits:
+                continue
+            if self.use_energy_gate:
+                ensure_gathered(idx)
+                if not energies[idx] > threshold:
+                    continue
+            if idx not in demodulated:
+                decode_wave(idx)
+            for fmt in (DciFormat.DL_1_1, DciFormat.UL_0_1):
+                attempts += 1
+                block = blocks.get((idx, fmt))
+                dci = None
+                if block is not None and crc_ok[(idx, fmt)]:
+                    try:
+                        dci = unpack(block[:-DCI_CRC_LEN], fmt,
+                                     self.dci_cfg, rnti)
+                    except DciError:
+                        dci = None
+                if dci is not None:
+                    decoded.append(DecodedDci(dci=dci,
+                                              aggregation_level=level))
+                    if self.use_cce_claiming:
+                        claimed_bits |= cce_bits
+                        claimed.update(range(start, start + level))
+                    break
+        with self._lock:
+            self.attempts += attempts
+        return decoded
+
     def blind_decode_common(self, grid: ResourceGrid, slot_index: int,
                             common_space) -> list[DecodedDci]:
         """Blind-search the common space, recovering RNTIs via CRC XOR.
@@ -219,3 +473,129 @@ class GridDciDecoder:
                 decoded.append(DecodedDci(dci=dci, aggregation_level=level,
                                           from_common_space=True))
         return decoded
+
+
+# ---------------------------------------------------- process-pool jobs
+# Module-level so spawned ProcessExecutor workers can unpickle them.
+# Each job rebuilds its decoder from plain config (the module-level
+# kernel caches stay warm per worker process) and ships the counters
+# back for the parent to merge — worker-side decoder state is discarded.
+
+def pack_grid_for_decode(grid: ResourceGrid,
+                         tracked: dict[int, TrackedUe]) -> dict:
+    """Slim picklable snapshot of the grid's PDCCH control region.
+
+    The decode job only ever reads CORESET resource elements, and every
+    tracked CORESET sits in the slot's first few symbols — so the
+    payload ships just those columns (2 of 14 symbols for the lab
+    cells) instead of the whole carrier grid.  The worker rebuilds a
+    full-size grid with zeros elsewhere; those REs are never read, so
+    the decode stays byte-identical.
+    """
+    n_symbols = 0
+    for ue in tracked.values():
+        coreset = ue.search_space.coreset
+        n_symbols = max(n_symbols,
+                        coreset.first_symbol + coreset.n_symbols)
+    n_symbols = min(grid.data.shape[1], n_symbols)
+    return {"n_prb": grid.n_prb, "n_control_symbols": n_symbols,
+            "data": np.ascontiguousarray(grid.data[:, :n_symbols]),
+            "occupancy": np.ascontiguousarray(
+                grid.occupancy[:, :n_symbols])}
+
+
+def unpack_grid_for_decode(packed: dict) -> ResourceGrid:
+    """Worker-side inverse of :func:`pack_grid_for_decode`."""
+    grid = ResourceGrid(n_prb=packed["n_prb"])
+    n_symbols = packed["n_control_symbols"]
+    grid.data[:, :n_symbols] = packed["data"]
+    grid.occupancy[:, :n_symbols] = packed["occupancy"]
+    return grid
+
+
+class _DecodeUe:
+    """Worker-side stand-in for :class:`TrackedUe`.
+
+    The grid decode paths only read ``search_space``; shipping the
+    session bookkeeping (grant config, activity timestamps) across the
+    process boundary every slot would dominate the payload cost.
+    """
+
+    __slots__ = ("search_space",)
+
+    def __init__(self, search_space: SearchSpace) -> None:
+        self.search_space = search_space
+
+
+@lru_cache(maxsize=8)
+def _packed_spaces(items: tuple) -> bytes:
+    """Pickle an ``(rnti, search_space)`` tuple once per tracked-table
+    generation — the table only changes when a UE joins or leaves, so
+    steady-state packs are one hash lookup (spaces are hashable)."""
+    return pickle.dumps(dict(items), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def pack_tracked_for_decode(tracked: dict[int, TrackedUe]) -> bytes:
+    """Content-addressed search-space blob for the decode payload."""
+    return _packed_spaces(tuple(
+        (rnti, tracked[rnti].search_space) for rnti in sorted(tracked)))
+
+
+#: Worker-side blob -> decode table cache, content-addressed by the
+#: pickled bytes so a stale entry is impossible by construction.
+_SPACES_CACHE: dict[bytes, dict[int, _DecodeUe]] = {}
+
+
+def _tracked_from_blob(blob: bytes) -> dict[int, _DecodeUe]:
+    cached = _SPACES_CACHE.get(blob)
+    if cached is None:
+        cached = {rnti: _DecodeUe(space)
+                  for rnti, space in pickle.loads(blob).items()}
+        while len(_SPACES_CACHE) >= 8:
+            _SPACES_CACHE.pop(next(iter(_SPACES_CACHE)))
+        _SPACES_CACHE[blob] = cached
+    return cached
+
+
+def grid_decode_job(payload: dict) -> tuple[list[DecodedDci], int]:
+    """One slot's iq-fidelity decode, picklable for a worker process.
+
+    Replays the exact inline path — including round-robin UE sharding
+    with per-shard claim sets, so the decoded-DCI order matches the
+    inline concatenation order byte for byte.  ``grid`` and ``tracked``
+    may arrive in their slim wire forms (see
+    :func:`pack_grid_for_decode` / :func:`pack_tracked_for_decode`) or
+    as the full in-process objects.
+    """
+    from repro.core.runtime import sharded_grid_decode
+
+    grid = payload["grid"]
+    if not isinstance(grid, ResourceGrid):
+        grid = unpack_grid_for_decode(grid)
+    tracked = payload["tracked"]
+    if isinstance(tracked, bytes):
+        tracked = _tracked_from_blob(tracked)
+    decoder = GridDciDecoder(
+        dci_cfg=payload["dci_cfg"], n_id=payload["n_id"],
+        noise_var=payload["noise_var"],
+        use_energy_gate=payload["use_energy_gate"],
+        use_cce_claiming=payload["use_cce_claiming"],
+        equalize=payload["equalize"])
+    decoded = sharded_grid_decode(
+        decoder, grid, payload["slot_index"],
+        tracked, payload["n_shards"],
+        batch=payload["batch"])
+    return decoded, decoder.attempts
+
+
+def record_decode_job(payload: dict) -> tuple[list[DecodedDci], int, int]:
+    """One slot's message-fidelity decode, picklable for a worker.
+
+    The decode decisions are counter-keyed on (seed, slot, rnti, CCE,
+    level, direction), so a fresh decoder with the session seed draws
+    the identical stream in any process.
+    """
+    decoder = RecordDciDecoder(sniffer_snr_db=payload["snr_db"],
+                               seed=payload["seed"])
+    decoded = decoder.decode_slot(payload["records"], payload["tracked"])
+    return decoded, decoder.attempts, decoder.misses

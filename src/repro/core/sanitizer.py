@@ -135,6 +135,23 @@ class Sanitizer:
         return AuditedGenerator(self, rng)
 
 
+def unwrap_tracked(table: dict[int, Any]) -> dict[int, Any]:
+    """Plain-dict copy of a (possibly guarded) tracked snapshot.
+
+    Payload executors pickle the snapshot for worker processes; the
+    guards hold a thread-local :class:`Sanitizer` and cannot travel, so
+    they are stripped here.  The workers' copies are private, so the
+    write-guard contract is preserved by construction: nothing a worker
+    does to its copy can reach the parent's table.
+    """
+    plain: dict[int, Any] = {}
+    for rnti, ue in table.items():
+        if isinstance(ue, GuardedTrackedUe):
+            ue = object.__getattribute__(ue, "_ue")
+        plain[rnti] = ue
+    return plain
+
+
 class GuardedTrackedTable(dict):
     """A frozen tracked-table snapshot.
 

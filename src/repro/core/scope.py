@@ -30,12 +30,14 @@ from repro.constants import SI_RNTI
 from repro.core.aggregation import PacketAggregationAnalyzer
 from repro.core.cell_search import CellSearcher
 from repro.core.dci_decoder import DecodedDci, GridDciDecoder, \
-    RecordDciDecoder
+    RecordDciDecoder, grid_decode_job, pack_grid_for_decode, \
+    pack_tracked_for_decode, record_decode_job
 from repro.core.harq_tracker import HarqTrackerBank
 from repro.core.rach_sniffer import RachSniffer
 from repro.core.runtime import Executor, RuntimeStats, SlotContext, \
     SlotRuntime, Stage, build_executor, sharded_grid_decode
-from repro.core.sanitizer import Sanitizer, parallel_stage
+from repro.core.sanitizer import Sanitizer, parallel_stage, \
+    unwrap_tracked
 from repro.core.spare_capacity import SpareCapacityEstimator, TtiUsage
 from repro.core.decode_model import uci_decode_succeeds
 from repro.core.telemetry import TelemetryLog, TelemetryRecord
@@ -93,6 +95,7 @@ class NRScope:
                  n_workers: int = 4, n_dci_threads: int = 1,
                  queue_depth: int = 256,
                  slot_budget_s: float | None = None,
+                 batch_kernels: bool = True,
                  sanitizer: Sanitizer | None = None) -> None:
         if fidelity not in ("message", "iq"):
             raise ScopeError(f"unknown fidelity: {fidelity!r}")
@@ -151,6 +154,11 @@ class NRScope:
         # sink commits telemetry in slot order behind the runtime's
         # reorder buffer.
         self.n_dci_threads = n_dci_threads
+        #: Batched PHY kernels: stack every candidate of the slot
+        #: through vectorized gather/demod/descramble/polar instead of
+        #: per-candidate scalar calls (bit-identical outputs; ablatable
+        #: for the Fig 12 / bench comparison).
+        self.batch_kernels = batch_kernels
         self._runtime = SlotRuntime(
             stages=[
                 Stage("sync", self._stage_sync),
@@ -158,7 +166,8 @@ class NRScope:
                 Stage("uci", self._stage_uci),
                 Stage("capture", self._stage_capture),
                 Stage("rach", self._stage_rach),
-                Stage("dci", self._stage_dci, parallel=True),
+                Stage("dci", self._stage_dci, parallel=True,
+                      pack=self._pack_dci, merge=self._merge_dci),
                 Stage("sinks", self._stage_sinks, sink=True),
             ],
             executor=build_executor(executor, n_workers=n_workers,
@@ -452,11 +461,60 @@ class NRScope:
             ctx.decoded = sharded_grid_decode(
                 self._grid_decoder, ctx.grid, output.slot.index,
                 ctx.tracked, self.n_dci_threads,
-                mapper=self._runtime.executor.map)
+                mapper=self._runtime.executor.map,
+                batch=self.batch_kernels)
         else:
             assert self._record_decoder is not None
             ctx.decoded = self._record_decoder.decode_slot(
                 output.dci_records, ctx.tracked)
+
+    def _pack_dci(self, ctx: SlotContext):
+        """Picklable ``(job, payload)`` for a process executor.
+
+        Mirrors :meth:`_stage_dci` exactly — same sharding, same batch
+        flag, same decoder configuration — so a worker process produces
+        the byte-identical decoded list the inline stage would.  The
+        tracked snapshot is unwrapped from any nrsan guards (they hold
+        thread-locals and cannot pickle); the workers' copies are
+        private, so the no-mutation contract holds by construction.
+        """
+        output = ctx.output
+        tracked = unwrap_tracked(ctx.tracked)
+        if self.fidelity == "iq":
+            dec = self._grid_decoder
+            assert dec is not None
+            return grid_decode_job, {
+                "dci_cfg": dec.dci_cfg, "n_id": dec.n_id,
+                "noise_var": dec.noise_var,
+                "use_energy_gate": dec.use_energy_gate,
+                "use_cce_claiming": dec.use_cce_claiming,
+                "equalize": dec.equalize,
+                "grid": pack_grid_for_decode(ctx.grid, tracked),
+                "slot_index": output.slot.index,
+                "tracked": pack_tracked_for_decode(tracked),
+                "n_shards": self.n_dci_threads,
+                "batch": self.batch_kernels,
+            }
+        rec = self._record_decoder
+        assert rec is not None
+        return record_decode_job, {
+            "snr_db": rec.sniffer_snr_db, "seed": rec.seed,
+            "records": output.dci_records, "tracked": tracked,
+        }
+
+    def _merge_dci(self, ctx: SlotContext, result) -> None:
+        """Fold a worker's pickled decode result back into the slot
+        (runs on the backbone, so plain counter adds are safe)."""
+        if self.fidelity == "iq":
+            decoded, attempts = result
+            assert self._grid_decoder is not None
+            self._grid_decoder.attempts += attempts
+        else:
+            decoded, attempts, misses = result
+            assert self._record_decoder is not None
+            self._record_decoder.attempts += attempts
+            self._record_decoder.misses += misses
+        ctx.decoded = decoded
 
     def _drop_cost(self, ctx: SlotContext) -> int:
         """DCIs lost with a shed slot: the tracked UE-space DCIs it

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.dci_decoder import GridDciDecoder
+from repro.core.dci_decoder import GridDciDecoder, grid_decode_job, \
+    pack_grid_for_decode, pack_tracked_for_decode
 from repro.core.rach_sniffer import RachSniffer
 from repro.core.runtime import Executor, InlineExecutor, SlotContext, \
     SlotRuntime, Stage, ThreadedExecutor, sharded_grid_decode
@@ -104,10 +105,19 @@ def build_workload(profile: CellProfile, n_ues: int,
 
 
 def build_runtime(workload: Workload, executor: Executor,
-                  noise_var: float = 1e-3) -> SlotRuntime:
+                  noise_var: float = 1e-3, batch: bool = False,
+                  latencies: list | None = None,
+                  decoded_counts: list | None = None) -> SlotRuntime:
     """The production stage graph over a fixed workload: OFDM
     demodulation on the backbone, the sharded candidate search on the
-    parallel stage."""
+    parallel stage.
+
+    ``batch`` selects the vectorized kernel path; pack/merge hooks make
+    the graph runnable on a :class:`~repro.core.runtime.ProcessExecutor`
+    (the decode travels as a picklable job, byte-identical results).
+    ``latencies``/``decoded_counts`` are optional per-slot collectors
+    the bench harness reads (appended by a sink, so in slot order).
+    """
     decoder = GridDciDecoder(
         dci_cfg=workload.profile.dci_size_config(),
         n_id=workload.profile.cell_id, noise_var=noise_var)
@@ -119,11 +129,38 @@ def build_runtime(workload: Workload, executor: Executor,
     def dci(ctx: SlotContext) -> None:
         ctx.decoded = sharded_grid_decode(
             decoder, ctx.grid, workload.slot_index, ctx.tracked,
-            executor.n_dci_threads, mapper=executor.map)
+            executor.n_dci_threads, mapper=executor.map, batch=batch)
 
-    return SlotRuntime(
-        stages=[Stage("demod", demod), Stage("dci", dci, parallel=True)],
-        executor=executor)
+    def pack(ctx: SlotContext):
+        return grid_decode_job, {
+            "dci_cfg": decoder.dci_cfg, "n_id": decoder.n_id,
+            "noise_var": decoder.noise_var,
+            "use_energy_gate": decoder.use_energy_gate,
+            "use_cce_claiming": decoder.use_cce_claiming,
+            "equalize": decoder.equalize,
+            "grid": pack_grid_for_decode(ctx.grid, ctx.tracked),
+            "slot_index": workload.slot_index,
+            "tracked": pack_tracked_for_decode(ctx.tracked),
+            "n_shards": executor.n_dci_threads, "batch": batch,
+        }
+
+    def merge(ctx: SlotContext, result) -> None:
+        decoded, attempts = result
+        decoder.attempts += attempts
+        ctx.decoded = decoded
+
+    stages = [Stage("demod", demod),
+              Stage("dci", dci, parallel=True, pack=pack, merge=merge)]
+    if latencies is not None or decoded_counts is not None:
+
+        def collect(ctx: SlotContext) -> None:
+            if latencies is not None:
+                latencies.append(ctx.decode_time_s)
+            if decoded_counts is not None:
+                decoded_counts.append(len(ctx.decoded))
+
+        stages.append(Stage("collect", collect, sink=True))
+    return SlotRuntime(stages=stages, executor=executor)
 
 
 def executor_for(n_threads: int) -> Executor:

@@ -12,7 +12,8 @@ candidate positions per slot instead of blind-searching the whole grid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.constants import AGGREGATION_LEVELS, N_REG_PER_CCE
 from repro.phy.numerology import slots_per_frame
@@ -112,11 +113,24 @@ class SearchSpace:
     coreset: Coreset
     is_common: bool
     candidates_per_level: dict[int, int]
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for level in self.candidates_per_level:
             if level not in AGGREGATION_LEVELS:
                 raise CoresetError(f"invalid aggregation level {level}")
+        # The candidate dict makes the generated hash unusable; a
+        # precomputed one keyed on the *insertion-ordered* level table
+        # lets decoders memoize per-space candidate plans.  Two spaces
+        # that enumerate levels in different orders hash apart on
+        # purpose: plan caches must never merge entries whose scalar
+        # iteration order differs.
+        object.__setattr__(self, "_hash", hash(
+            (self.search_space_id, self.coreset, self.is_common,
+             tuple(self.candidates_per_level.items()))))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def candidate_cces(self, level: int, slot_index: int,
                        rnti: int = 0) -> list[int]:
@@ -135,12 +149,25 @@ class SearchSpace:
             return []
         y = 0 if self.is_common else _yp(rnti, self.coreset.coreset_id,
                                          slot_index)
-        starts = []
-        for m in range(n_candidates):
-            base = (y + (m * n_cce) // (level * max(n_candidates, 1))) \
-                % (n_cce // level)
-            starts.append(level * base)
-        return starts
+        return list(_candidate_starts(level, n_candidates, n_cce, y))
+
+
+@lru_cache(maxsize=65536)
+def _candidate_starts(level: int, n_candidates: int, n_cce: int,
+                      y: int) -> tuple[int, ...]:
+    """The 38.213 candidate hash, memoized on its scalar inputs.
+
+    The sniffer reruns the hash for every tracked RNTI every slot; the
+    blind-decode loop calls this hundreds of times per slot at scale,
+    so the pure arithmetic is cached (``Y`` already folds in the RNTI
+    and slot, keeping the key small and the hit rate high).
+    """
+    starts = []
+    for m in range(n_candidates):
+        base = (y + (m * n_cce) // (level * max(n_candidates, 1))) \
+            % (n_cce // level)
+        starts.append(level * base)
+    return tuple(starts)
 
 
 # Coefficients A_p from 38.213 Table 10.1-1, selected by coreset_id mod 3.
@@ -154,13 +181,21 @@ def _yp(rnti: int, coreset_id: int, slot_index: int,
 
     The recursion depth follows the slot number within its frame, so
     the reduction uses the numerology's slots-per-frame count (the
-    paper's lab cells all run 30 kHz).
+    paper's lab cells all run 30 kHz).  The value only depends on the
+    slot *within* the frame, so the modular-multiplication chain is
+    memoized on the reduced slot number.
     """
     if rnti <= 0:
         raise CoresetError("UE-specific search space needs a positive RNTI")
+    return _yp_reduced(rnti, coreset_id,
+                       slot_index % slots_per_frame(scs_khz))
+
+
+@lru_cache(maxsize=65536)
+def _yp_reduced(rnti: int, coreset_id: int, reduced_slot: int) -> int:
     a_p = _YP_COEFFICIENTS[coreset_id % 3]
     y = rnti
-    for _ in range(slot_index % slots_per_frame(scs_khz) + 1):
+    for _ in range(reduced_slot + 1):
         y = (a_p * y) % _YP_MODULUS
     return y
 

@@ -16,6 +16,8 @@ arrays of 0/1 values.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.constants import MAX_RNTI
@@ -65,6 +67,45 @@ def crc_remainder(bits: np.ndarray | list[int], name: str) -> np.ndarray:
     for i in range(length):
         out[i] = (reg >> (length - 1 - i)) & 1
     return out
+
+
+@lru_cache(maxsize=64)
+def crc_generator_matrix(n_bits: int, name: str) -> np.ndarray:
+    """GF(2) generator matrix ``M`` with ``crc_remainder(x) == x @ M % 2``.
+
+    The 38.212 CRC registers start from all zeros, so the remainder is a
+    linear map over GF(2); column-by-column simulation of unit vectors
+    yields an ``(n_bits, L)`` matrix that computes the same parity bits
+    as the serial LFSR for *any* input block of that length.  Cached per
+    block length so batched checks pay the simulation once.
+    """
+    if name not in POLYNOMIALS:
+        raise CrcError(f"unknown CRC: {name!r}")
+    if n_bits < 0:
+        raise CrcError(f"negative block length: {n_bits}")
+    length, _ = POLYNOMIALS[name]
+    matrix = np.zeros((n_bits, length), dtype=np.uint8)
+    unit = np.zeros(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        unit[i] = 1
+        matrix[i] = crc_remainder(unit, name)
+        unit[i] = 0
+    matrix.setflags(write=False)
+    return matrix
+
+
+def crc_remainder_batch(bits: np.ndarray, name: str) -> np.ndarray:
+    """Row-wise :func:`crc_remainder` over a ``(batch, n_bits)`` matrix.
+
+    One GF(2) matrix product replaces ``batch`` serial LFSR walks; the
+    result is bit-identical to calling :func:`crc_remainder` per row.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise CrcError(f"expected a 2-D bit matrix, got shape {arr.shape}")
+    matrix = crc_generator_matrix(arr.shape[1], name)
+    counts = arr.astype(np.int32) @ matrix.astype(np.int32)
+    return (counts & 1).astype(np.uint8)
 
 
 def crc_attach(bits: np.ndarray | list[int], name: str) -> np.ndarray:

@@ -129,6 +129,30 @@ def demodulate_soft(symbols: np.ndarray, modulation: str | ModulationScheme,
     return llrs.ravel()
 
 
+def demodulate_soft_batch(symbols: np.ndarray,
+                          modulation: str | ModulationScheme,
+                          noise_var: float) -> np.ndarray:
+    """Max-log LLRs for a stacked ``(B, n_symbols)`` symbol matrix.
+
+    Returns a ``(B, n_symbols * Qm)`` LLR matrix. The demapper is
+    elementwise over symbols, so this is exactly
+    :func:`demodulate_soft` applied per row (flatten, demap once,
+    reshape) — bit-identical, but one numpy dispatch for the whole
+    candidate batch instead of one per candidate.
+    """
+    scheme = _scheme(modulation)
+    arr = np.asarray(symbols, dtype=np.complex128)
+    if arr.ndim != 2:
+        raise ModulationError(
+            f"expected a (B, n_symbols) matrix, got shape {arr.shape}")
+    batch, n_symbols = arr.shape
+    qm = scheme.bits_per_symbol
+    if batch == 0:
+        return np.zeros((0, n_symbols * qm), dtype=np.float64)
+    flat = demodulate_soft(arr.reshape(-1), scheme, noise_var)
+    return flat.reshape(batch, n_symbols * qm)
+
+
 def demodulate_hard(symbols: np.ndarray,
                     modulation: str | ModulationScheme) -> np.ndarray:
     """Nearest-point hard decisions, returned as a flat bit array."""

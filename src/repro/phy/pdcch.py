@@ -26,14 +26,15 @@ from repro.constants import DCI_CRC_LEN, N_REG_PER_CCE, \
     N_SYMBOLS_PER_SLOT
 from repro.phy import polar
 from repro.phy.coreset import Coreset
-from repro.phy.crc import crc_remainder, rnti_to_bits
+from repro.phy.crc import crc_remainder, crc_remainder_batch, rnti_to_bits
 from repro.phy.dci import Dci, DciError, DciFormat, DciSizeConfig, \
     dci_payload_size, pack, unpack
 from repro.phy.dmrs import PDCCH_DATA_RES_PER_REG, PDCCH_DMRS_POSITIONS, \
     pdcch_dmrs_symbols, reg_data_subcarriers
 from repro.phy.modulation import QPSK, demodulate_soft, modulate
 from repro.phy.resource_grid import ResourceGrid
-from repro.phy.scrambling import pdcch_scrambling_init, scramble_bits
+from repro.phy.scrambling import descramble_llrs, pdcch_scrambling_init, \
+    scramble_bits
 
 
 class PdcchError(ValueError):
@@ -71,6 +72,33 @@ def dci_crc_check(block: np.ndarray, rnti: int) -> bool:
         np.concatenate([_CRC_PREFIX, payload]), "crc24c").copy()
     expected[-16:] ^= rnti_to_bits(rnti)
     return bool(np.array_equal(expected, received))
+
+
+def dci_crc_check_batch(blocks: np.ndarray,
+                        rntis: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`dci_crc_check` over stacked payload+CRC blocks.
+
+    ``blocks`` is ``(batch, k)`` and ``rntis`` gives each row's
+    hypothesised RNTI.  The parity bits come from one GF(2) matrix
+    product (:func:`~repro.phy.crc.crc_remainder_batch`), so the boolean
+    verdicts are bit-identical to the scalar check at a fraction of the
+    dispatch cost.
+    """
+    arr = np.asarray(blocks, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise PdcchError(
+            f"expected stacked blocks, got shape {arr.shape}")
+    if arr.shape[1] <= DCI_CRC_LEN:
+        return np.zeros(arr.shape[0], dtype=bool)
+    payload, received = arr[:, :-DCI_CRC_LEN], arr[:, -DCI_CRC_LEN:]
+    prefix = np.broadcast_to(_CRC_PREFIX, (arr.shape[0], DCI_CRC_LEN))
+    expected = crc_remainder_batch(
+        np.concatenate([prefix, payload], axis=1), "crc24c")
+    rnti_arr = np.asarray(rntis, dtype=np.int64).reshape(-1, 1)
+    shifts = np.arange(15, -1, -1, dtype=np.int64)
+    rnti_bits = ((rnti_arr >> shifts) & 1).astype(np.uint8)
+    expected[:, -16:] ^= rnti_bits
+    return np.all(expected == received, axis=1)
 
 
 def dci_recover_rnti(block: np.ndarray) -> int | None:
@@ -260,6 +288,65 @@ def estimate_channel(grid: ResourceGrid, coreset: Coreset,
     return complex(estimate)
 
 
+@lru_cache(maxsize=2048)
+def _level_index_matrix(coreset: Coreset,
+                        aggregation_level: int) -> np.ndarray:
+    """Stacked flat-index matrix for every aligned candidate position.
+
+    Row ``p`` holds the data-RE indices of the candidate starting at CCE
+    ``p * aggregation_level``: one cached ``(n_positions, E/2)`` matrix
+    per (CORESET, level) replaces the per-candidate gather loop — the
+    batched decoder fancy-indexes all of a slot's candidates in one shot.
+    """
+    n_positions = coreset.n_cces // aggregation_level
+    if n_positions == 0:
+        cols = aggregation_level * BITS_PER_CCE // QPSK.bits_per_symbol
+        return np.zeros((0, cols), dtype=np.intp)
+    return np.stack([
+        _candidate_flat_indices(coreset, pos * aggregation_level,
+                                aggregation_level)
+        for pos in range(n_positions)])
+
+
+def gather_candidates_batch(grid: ResourceGrid, coreset: Coreset,
+                            aggregation_level: int,
+                            starts: np.ndarray) -> np.ndarray:
+    """Read the data REs of many same-level candidates in one gather.
+
+    ``starts`` are first-CCE indices, each aligned to the aggregation
+    level (as :meth:`SearchSpace.candidate_cces` always produces) and in
+    range.  Returns a ``(len(starts), n_symbols)`` complex matrix whose
+    rows equal the per-candidate :func:`_gather_candidate` reads.
+    """
+    matrix = _level_index_matrix(coreset, aggregation_level)
+    starts_arr = np.asarray(starts, dtype=np.intp)
+    if starts_arr.size == 0:
+        return np.zeros((0, matrix.shape[1]), dtype=np.complex128)
+    rows = starts_arr // aggregation_level
+    if np.any(starts_arr % aggregation_level) \
+            or np.any(rows >= matrix.shape[0]) or np.any(rows < 0):
+        raise PdcchError(
+            f"unaligned or out-of-range candidate starts for level"
+            f" {aggregation_level}: {starts_arr.tolist()}")
+    return grid.data.reshape(-1)[matrix[rows]]
+
+
+def candidate_energies_batch(values: np.ndarray) -> np.ndarray:
+    """Mean per-RE power per row of a gathered candidate matrix.
+
+    Row-for-row identical to :func:`candidate_energy` on the same REs
+    (numpy's pairwise row reduction matches the 1-D mean).
+    """
+    if values.shape[0] == 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.mean(np.abs(values) ** 2, axis=1)
+
+
+def occupancy_threshold(noise_var: float) -> float:
+    """Energy-detection threshold shared by scalar and batched gates."""
+    return noise_var + 0.4
+
+
 def candidate_energy(grid: ResourceGrid, coreset: Coreset,
                      candidate: PdcchCandidate) -> float:
     """Mean per-RE power over a candidate's data REs.
@@ -279,7 +366,7 @@ def candidate_occupied(grid: ResourceGrid, coreset: Coreset,
                        candidate: PdcchCandidate,
                        noise_var: float) -> bool:
     """Energy-detection verdict for one candidate."""
-    threshold = noise_var + 0.4
+    threshold = occupancy_threshold(noise_var)
     return candidate_energy(grid, coreset, candidate) > threshold
 
 
@@ -309,9 +396,7 @@ def try_decode_pdcch(grid: ResourceGrid, cfg: DciSizeConfig,
         noise_var = noise_var / max(abs(gain) ** 2, 1e-9)
     llrs = demodulate_soft(received, QPSK, max(noise_var, 1e-12))
     # Descramble in the LLR domain: a flipped bit negates the LLR.
-    seq = scramble_bits(np.zeros(llrs.size, dtype=np.uint8),
-                        pdcch_scrambling_init(n_id)).astype(float)
-    llrs = llrs * (1.0 - 2.0 * seq)
+    llrs = descramble_llrs(llrs, pdcch_scrambling_init(n_id))
 
     payload_len = dci_payload_size(fmt, cfg)
     k = payload_len + DCI_CRC_LEN
@@ -341,9 +426,7 @@ def decode_candidate_bits(grid: ResourceGrid, coreset: Coreset,
         return None
     received = _gather_candidate(grid, coreset, candidate)
     llrs = demodulate_soft(received, QPSK, max(noise_var, 1e-12))
-    seq = scramble_bits(np.zeros(llrs.size, dtype=np.uint8),
-                        pdcch_scrambling_init(n_id)).astype(float)
-    llrs = llrs * (1.0 - 2.0 * seq)
+    llrs = descramble_llrs(llrs, pdcch_scrambling_init(n_id))
     k = payload_len + DCI_CRC_LEN
     if k > candidate.n_coded_bits:
         return None

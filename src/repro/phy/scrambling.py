@@ -17,6 +17,14 @@ GOLD_NC = 1600
 _SEQUENCE_CACHE: dict[int, np.ndarray] = {}
 _CACHE_LIMIT = 4096
 
+# LLR descrambling multiplies by (1 - 2*c) in {-1.0, +1.0}; the PDCCH
+# blind-decode loop asks for the same (c_init, length) pair for every
+# candidate at one aggregation level, so the float sign vector is cached
+# separately from the bit sequence with hit/miss accounting.
+_SIGN_CACHE: dict[tuple[int, int], np.ndarray] = {}
+_SIGN_CACHE_HITS = 0
+_SIGN_CACHE_MISSES = 0
+
 
 class ScramblingError(ValueError):
     """Raised for invalid scrambling parameters."""
@@ -88,6 +96,49 @@ def scramble_bits(bits: np.ndarray, c_init: int) -> np.ndarray:
     return arr ^ gold_sequence(c_init, arr.size)
 
 
+def descramble_signs(c_init: int, length: int) -> np.ndarray:
+    """Float sign vector ``1 - 2*c`` for LLR descrambling, cached.
+
+    Returned arrays are shared and must not be mutated by callers; the
+    descramble itself (`llrs * signs`) allocates a fresh output.
+    """
+    global _SIGN_CACHE_HITS, _SIGN_CACHE_MISSES
+    key = (c_init, length)
+    cached = _SIGN_CACHE.get(key)
+    if cached is not None:
+        _SIGN_CACHE_HITS += 1
+        return cached
+    _SIGN_CACHE_MISSES += 1
+    signs = 1.0 - 2.0 * gold_sequence(c_init, length).astype(np.float64)
+    if len(_SIGN_CACHE) < _CACHE_LIMIT:
+        _SIGN_CACHE[key] = signs
+    return signs
+
+
+def descramble_llrs(llrs: np.ndarray, c_init: int) -> np.ndarray:
+    """Flip LLR signs where the Gold sequence bit is 1.
+
+    Accepts a 1-D LLR vector or a stacked ``(B, E)`` matrix whose rows
+    share one ``c_init`` (broadcast over the last axis) — the batched
+    PDCCH path descrambles all candidates of one search space at once.
+    """
+    arr = np.asarray(llrs, dtype=np.float64)
+    return arr * descramble_signs(c_init, arr.shape[-1])
+
+
+def sign_cache_stats() -> dict[str, int]:
+    """Hit/miss counters for the descramble-sign cache (for tests)."""
+    return {
+        "hits": _SIGN_CACHE_HITS,
+        "misses": _SIGN_CACHE_MISSES,
+        "entries": len(_SIGN_CACHE),
+    }
+
+
 def clear_sequence_cache() -> None:
-    """Drop all cached Gold sequences (mainly for tests)."""
+    """Drop all cached Gold sequences and descramble signs (for tests)."""
+    global _SIGN_CACHE_HITS, _SIGN_CACHE_MISSES
     _SEQUENCE_CACHE.clear()
+    _SIGN_CACHE.clear()
+    _SIGN_CACHE_HITS = 0
+    _SIGN_CACHE_MISSES = 0

@@ -8,9 +8,9 @@ import pytest
 from repro import NRScope, Simulation
 from repro.core.dci_decoder import GridDciDecoder
 from repro.core.rach_sniffer import RachSniffer
-from repro.core.runtime import InlineExecutor, SlotContext, SlotRuntime, \
-    SlotRuntimeError, Stage, ThreadedExecutor, build_executor, shard_ues, \
-    sharded_grid_decode
+from repro.core.runtime import InlineExecutor, ProcessExecutor, \
+    SlotContext, SlotRuntime, SlotRuntimeError, Stage, ThreadedExecutor, \
+    build_executor, shard_ues, sharded_grid_decode
 from repro.gnb.cell_config import SRSRAN_PROFILE
 from repro.phy.dci import Dci, DciFormat, riv_encode
 from repro.phy.pdcch import PdcchCandidate, encode_pdcch
@@ -300,6 +300,22 @@ class TestExecutors:
         with pytest.raises(SlotRuntimeError):
             build_executor("quantum")
 
+    def test_worker_count_suffix(self):
+        process = build_executor("process:2")
+        assert isinstance(process, ProcessExecutor)
+        assert process.name == "process"
+        assert process.n_workers == 2
+        assert build_executor("threaded:3").n_workers == 3
+        with pytest.raises(SlotRuntimeError):
+            build_executor("inline:2")
+        with pytest.raises(SlotRuntimeError):
+            build_executor("process:lots")
+
+    def test_process_rejects_bad_config(self):
+        for kwargs in ({"n_workers": 0}, {"queue_depth": 0}):
+            with pytest.raises(SlotRuntimeError):
+                ProcessExecutor(**kwargs)
+
     def test_threaded_rejects_bad_config(self):
         for kwargs in ({"n_workers": 0}, {"n_dci_threads": 0},
                        {"queue_depth": 0}):
@@ -343,3 +359,30 @@ class TestCrossExecutorDeterminism:
         assert inline.counters == threaded.counters
         assert inline.tracked_rntis == threaded.tracked_rntis
         assert inline.uci.observations == threaded.uci.observations
+
+    @pytest.mark.parametrize("fidelity,seconds",
+                             [("message", 0.5), ("iq", 0.1)])
+    def test_process_executor_matches_inline(self, fidelity, seconds):
+        """Same bar across the process boundary: the spawned-worker
+        session (slim wire payloads, per-worker kernel caches) commits
+        the identical TelemetryLog."""
+
+        def session(executor, **kwargs):
+            sim = Simulation.build(SRSRAN_PROFILE, n_ues=4, seed=42,
+                                   fidelity=fidelity)
+            scope = NRScope.attach(sim, snr_db=18.0, executor=executor,
+                                   idle_timeout_s=5.0, **kwargs)
+            sim.run(seconds=seconds)
+            scope.close()
+            return scope
+
+        inline = session("inline")
+        # A deep queue: the simulated clock outruns 1-CPU CI boxes, and
+        # this comparison needs a drop-free run, not backpressure.
+        process = session("process", n_workers=2, queue_depth=8192)
+        assert process.runtime_stats.slots_dropped == 0, \
+            "determinism comparison needs a drop-free run"
+        assert inline.telemetry.records == process.telemetry.records
+        assert inline.counters == process.counters
+        assert inline.tracked_rntis == process.tracked_rntis
+        assert inline.uci.observations == process.uci.observations

@@ -208,3 +208,20 @@ class TestScopeIntegration:
         assert instrumented.counters.dcis_decoded > 0
         assert [r for r in instrumented.telemetry.records] \
             == [r for r in bare.telemetry.records]
+
+    def test_process_executor_session_stays_clean(self, nrsan):
+        """The audit holds across the process boundary too: the parent
+        half of a ProcessExecutor session (payload packing, result
+        merge, commit) runs instrumented and stays violation-free, with
+        telemetry identical to the bare inline session."""
+        bare = self._session()
+        sim = Simulation.build(SRSRAN_PROFILE, n_ues=2, seed=5)
+        scope = NRScope.attach(sim, snr_db=20.0, sanitizer=nrsan,
+                               executor="process", n_workers=2,
+                               queue_depth=8192, idle_timeout_s=5.0)
+        sim.run(seconds=0.5)
+        scope.close()
+        assert nrsan.violations == []
+        assert scope.runtime_stats.slots_dropped == 0
+        assert [r for r in scope.telemetry.records] \
+            == [r for r in bare.telemetry.records]

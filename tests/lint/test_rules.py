@@ -515,6 +515,26 @@ class TestR006StagePurity:
         """)
         assert any("clock" in f.message for f in self.r006(findings))
 
+    def test_batched_closure_with_clock_is_flagged(self):
+        """The batch kernels' purity contract: a wave helper that
+        samples the wall clock poisons the whole batched stage."""
+        findings = self.lint_stage("""
+        import time
+
+
+        def decode_wave(rows):
+            deadline = time.time() + 0.1
+            return [row for row in rows if time.time() < deadline]
+
+
+        @parallel_stage
+        def decode_batch(ctx):
+            return decode_wave(ctx.rows)
+        """)
+        r006 = self.r006(findings)
+        assert any("decode_batch -> decode_wave" in f.message
+                   for f in r006)
+
     def test_counter_rng_is_allowed(self):
         findings = self.lint_stage("""
         def counter_uniform(*fields):
@@ -648,6 +668,32 @@ class TestR008DtypeHygiene:
             return np.zeros(n), np.empty(n), np.ones(n), np.full(n, 0.5)
         """, "phy/kernel.py")
         assert len(self.r008(findings)) == 4
+
+    def test_flags_stacked_batch_allocation(self):
+        """The batched-gather shape: a dtype-less ``(rows, width)``
+        scratch matrix upcasts every stacked candidate to float64."""
+        findings = lint("""
+        import numpy as np
+
+        def gather_batch(grid, starts, width):
+            stacked = np.empty((len(starts), width))
+            for row, start in enumerate(starts):
+                stacked[row] = grid[start:start + width]
+            return stacked
+        """, "phy/pdcch.py")
+        assert len(self.r008(findings)) == 1
+
+    def test_batch_kernel_with_pinned_dtypes_is_clean(self):
+        findings = lint("""
+        import numpy as np
+
+        def gather_batch(grid, starts, width):
+            stacked = np.empty((len(starts), width),
+                               dtype=np.complex128)
+            energies = np.zeros(len(starts), dtype=np.float64)
+            return stacked, energies
+        """, "phy/pdcch.py")
+        assert not self.r008(findings)
 
     def test_dtype_keyword_is_clean(self):
         findings = lint("""
