@@ -35,6 +35,8 @@ _LAZY_EXPORTS = {
     "AMARISOFT_PROFILE": ("repro.gnb.cell_config", "AMARISOFT_PROFILE"),
     "TMOBILE_N25_PROFILE": ("repro.gnb.cell_config", "TMOBILE_N25_PROFILE"),
     "TMOBILE_N71_PROFILE": ("repro.gnb.cell_config", "TMOBILE_N71_PROFILE"),
+    "ObsContext": ("repro.obs.context", "ObsContext"),
+    "OBS_NOOP": ("repro.obs.context", "OBS_NOOP"),
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

@@ -10,6 +10,9 @@ Mirrors how the released NR-Scope tool is driven from a terminal:
 * ``survey``   - commercial-cell population survey (sections 5.3.1/6).
 * ``bench``    - repeatable perf benchmarks (``bench fig12`` writes
   ``BENCH_fig12.json``, the executor x batch-kernel sweep).
+* ``obs``      - observability-stream tooling: ``obs topn`` clusters a
+  session's failure events, ``obs validate`` checks a stream against
+  the event schema.
 * ``lint``     - the nrlint 3GPP bit-contract/determinism static
   analysis (also available as ``python -m repro.lint``).
 """
@@ -61,9 +64,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the batched PHY kernels "
                             "(per-candidate scalar decode)")
     sniff.add_argument("--runtime-stats", action="store_true",
-                       help="print per-stage runtime statistics")
+                       help="print per-stage runtime statistics "
+                            "(timings and drop counts, via the obs "
+                            "bus counters)")
+    sniff.add_argument("--obs", action="append", default=[],
+                       metavar="SPEC",
+                       help="enable the observability bus with a "
+                            "reporter: jsonl:PATH | counters | "
+                            "ring[:N] (repeatable)")
 
     sub.add_parser("cells", help="list built-in cell profiles")
+
+    obs = sub.add_parser("obs", help="observability-stream tooling")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    topn = obs_sub.add_parser(
+        "topn", help="cluster a stream's failure events (TopN report)")
+    topn.add_argument("events", metavar="EVENTS",
+                      help="JSONL stream written by sniff --obs jsonl:")
+    topn.add_argument("--top", type=int, default=10,
+                      help="clusters to keep (default 10)")
+    topn.add_argument("--json", metavar="PATH", default=None,
+                      help="write the report as a JSON document")
+    topn.add_argument("--md", metavar="PATH", default=None,
+                      help="write the markdown table to a file "
+                           "(default: stdout)")
+    validate = obs_sub.add_parser(
+        "validate", help="check a stream against the event schema")
+    validate.add_argument("events", metavar="EVENTS",
+                          help="JSONL stream to validate")
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name",
@@ -98,7 +126,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_sniff(args: argparse.Namespace) -> int:
+    from repro.obs import CounterReporter, ObsContext, ReporterError, \
+        reporters_from_specs
+
     profile = ALL_PROFILES[args.profile]
+    try:
+        reporters = reporters_from_specs(args.obs)
+    except ReporterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counter_rep = next((r for r in reporters
+                        if isinstance(r, CounterReporter)), None)
+    show_counters = counter_rep is not None
+    if args.runtime_stats and counter_rep is None:
+        # The drops column is sourced from the bus counters, so the
+        # stats flag quietly rides a counter reporter along.
+        counter_rep = CounterReporter()
+        reporters.append(counter_rep)
+    obs = ObsContext.create(reporters, run_id=f"run-{args.seed:08x}")
+
     sim = Simulation.build(profile, n_ues=args.ues, seed=args.seed,
                            traffic=args.traffic, channel=args.channel,
                            fidelity=args.fidelity)
@@ -106,9 +152,11 @@ def cmd_sniff(args: argparse.Namespace) -> int:
                            executor=args.executor,
                            n_workers=args.workers,
                            n_dci_threads=args.dci_threads,
-                           batch_kernels=not args.no_batch)
+                           batch_kernels=not args.no_batch,
+                           obs=obs)
     sim.run(seconds=args.seconds)
     scope.close()
+    obs.close()
 
     print(f"cell {profile.name}: band {profile.band}, "
           f"{profile.n_prb} PRB @ {profile.scs_khz} kHz, "
@@ -134,9 +182,16 @@ def cmd_sniff(args: argparse.Namespace) -> int:
               f"({stats.dcis_dropped} DCIs), "
               f"{stats.budget_overruns} over budget")
         for stage in stats.stages:
+            drops = int(counter_rep.value("stage.drop",
+                                          stage=stage.name)) \
+                if counter_rep is not None else stage.drops
             print(f"  {stage.name:<8} {stage.calls:6d} calls, "
                   f"mean {stage.mean_us:9.1f} us, "
-                  f"max {1e6 * stage.max_s:9.1f} us")
+                  f"max {1e6 * stage.max_s:9.1f} us, "
+                  f"drops {drops:4d}")
+    if show_counters and counter_rep is not None:
+        print()
+        print(counter_rep.render_text(), end="")
     if args.report:
         from repro.analysis.summary import build_session_report
         print()
@@ -227,6 +282,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import SCHEMA_VERSION, cluster_failures, \
+        load_events, render_markdown, report_to_json, validate_events
+    from repro.obs.topn import TopnError
+
+    try:
+        events = load_events(args.events)
+    except TopnError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.obs_command == "validate":
+        problems = validate_events(events)
+        if problems:
+            for index, problem in problems[:20]:
+                print(f"event {index}: {problem}")
+            if len(problems) > 20:
+                print(f"... and {len(problems) - 20} more")
+            print(f"invalid: {len(problems)} problems in "
+                  f"{len(events)} events")
+            return 1
+        print(f"ok: {len(events)} events, schema v{SCHEMA_VERSION}")
+        return 0
+
+    try:
+        report = cluster_failures(events, top_n=args.top)
+    except TopnError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        document = json.dumps(report_to_json(report), indent=2,
+                              sort_keys=True)
+        Path(args.json).write_text(document + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+    markdown = render_markdown(report)
+    if args.md:
+        Path(args.md).write_text(markdown, encoding="utf-8")
+        print(f"wrote {args.md}")
+    else:
+        print(markdown, end="")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run as run_lint
     return run_lint(args)
@@ -234,7 +335,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 _COMMANDS = {"sniff": cmd_sniff, "cells": cmd_cells,
              "figure": cmd_figure, "survey": cmd_survey,
-             "bench": cmd_bench, "lint": cmd_lint}
+             "bench": cmd_bench, "obs": cmd_obs, "lint": cmd_lint}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -89,13 +89,20 @@ class RecordDciDecoder:
         self.misses = 0
 
     def decode_slot(self, records: list[DciRecord],
-                    tracked: dict[int, TrackedUe]) -> list[DecodedDci]:
+                    tracked: dict[int, TrackedUe],
+                    miss_log: list[tuple[int, int, int]] | None = None) \
+            -> list[DecodedDci]:
         """Decode this slot's UE-search-space DCIs for tracked RNTIs.
 
         Runs on the slot runtime's parallel stage, so each decision is a
         counter-based draw keyed on (seed, slot, rnti, CCE, level,
         direction) rather than a shared-RNG state advance: the outcome
         is identical whatever order and thread the slots run on.
+
+        ``miss_log``, when given, receives one ``(slot_index, rnti,
+        level)`` tuple per missed decode in record order — the
+        observability bus turns these into ``dci.miss`` events, and a
+        payload executor ships them back over the wire.
         """
         decoded: list[DecodedDci] = []
         attempts = misses = 0
@@ -115,6 +122,9 @@ class RecordDciDecoder:
                                           aggregation_level=level))
             else:
                 misses += 1
+                if miss_log is not None:
+                    miss_log.append((record.slot_index, record.rnti,
+                                     level))
         with self._lock:
             self.attempts += attempts
             self.misses += misses
@@ -588,14 +598,23 @@ def grid_decode_job(payload: dict) -> tuple[list[DecodedDci], int]:
     return decoded, decoder.attempts
 
 
-def record_decode_job(payload: dict) -> tuple[list[DecodedDci], int, int]:
+def record_decode_job(payload: dict) \
+        -> tuple[list[DecodedDci], int, int, list[tuple[int, int, int]]]:
     """One slot's message-fidelity decode, picklable for a worker.
 
     The decode decisions are counter-keyed on (seed, slot, rnti, CCE,
     level, direction), so a fresh decoder with the session seed draws
     the identical stream in any process.
+
+    When ``payload["collect_misses"]`` is set, the fourth element
+    carries the per-miss ``(slot, rnti, level)`` log back over the wire
+    so the parent emits the same ``dci.miss`` events an inline session
+    would, in the same commit order.
     """
     decoder = RecordDciDecoder(sniffer_snr_db=payload["snr_db"],
                                seed=payload["seed"])
-    decoded = decoder.decode_slot(payload["records"], payload["tracked"])
-    return decoded, decoder.attempts, decoder.misses
+    miss_log: list[tuple[int, int, int]] = []
+    decoded = decoder.decode_slot(
+        payload["records"], payload["tracked"],
+        miss_log if payload.get("collect_misses") else None)
+    return decoded, decoder.attempts, decoder.misses, miss_log

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.scope import NRScope
+from repro.obs.context import AnyObsContext, OBS_NOOP
 from repro.simulation import Simulation
 
 
@@ -66,10 +67,15 @@ class MultiCellController:
     """
 
     def __init__(self, executor: str = "inline", n_workers: int = 4,
-                 n_dci_threads: int = 1) -> None:
+                 n_dci_threads: int = 1,
+                 obs: AnyObsContext | None = None) -> None:
         self.executor = executor
         self.n_workers = n_workers
         self.n_dci_threads = n_dci_threads
+        #: Shared observability bus: every scope built by ``add_cell``
+        #: binds its cell name as a constant event label, so the fleet
+        #: emits one globally sequenced stream.
+        self.obs = obs if obs is not None else OBS_NOOP
         self._streams: dict[str, CellStream] = {}
         self._next_ue_id = 10_000
         self.now_s = 0.0
@@ -87,6 +93,8 @@ class MultiCellController:
         if name in self._streams:
             raise MultiCellError(f"duplicate cell name: {name!r}")
         if scope is None:
+            scope_kwargs.setdefault("obs", self.obs)
+            scope_kwargs.setdefault("cell", name)
             scope = NRScope.attach(sim, executor=self.executor,
                                    n_workers=self.n_workers,
                                    n_dci_threads=self.n_dci_threads,

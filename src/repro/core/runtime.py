@@ -26,6 +26,13 @@ controller, the Fig 12 benchmark):
   constraint: an over-budget slot is a counted DCI miss, never a stall).
 * :class:`RuntimeStats` - per-stage timing/counter snapshot, the Fig 12
   measurement surface, exposed by ``repro.cli sniff --runtime-stats``.
+* Observability - an optional :mod:`repro.obs` context turns every
+  stage run into a timed span event (stage, slot, duration,
+  drop/backpressure outcome) and every backpressure drop into a
+  ``stage.drop`` counter.  All of a slot's events are emitted at
+  commit, on the backbone, so the stream is identical whichever
+  executor ran the slot; disabled, the bus is a no-op singleton behind
+  a truthiness guard (zero allocations).
 
 A deviation worth naming: CPython's GIL serialises the pure-Python
 decode work, so thread scaling here shows less speed-up than the C++
@@ -47,6 +54,7 @@ from repro.constants import TTI_DURATION_S
 from repro.core.dci_decoder import DecodedDci, GridDciDecoder
 from repro.core.rach_sniffer import TrackedUe
 from repro.core.sanitizer import Sanitizer
+from repro.obs.context import AnyObsContext, OBS_NOOP
 from repro.phy.resource_grid import ResourceGrid
 
 
@@ -77,6 +85,14 @@ class SlotContext:
     dropped: bool = False         #: backpressure dropped the decode
     decode_time_s: float = 0.0
     error: BaseException | None = None
+    #: Per-stage backbone timings, captured when the bus is enabled and
+    #: replayed as span events at commit so every executor emits the
+    #: identical slot-ordered stream.
+    stage_times: list[tuple[str, float]] = field(default_factory=list)
+    #: Deferred observability events (name, fields), appended by stages
+    #: — including the parallel stage and payload-executor workers via
+    #: the merge hook — and emitted at commit in slot order.
+    events: list[tuple[str, dict]] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -114,6 +130,10 @@ class StageStats:
     calls: int = 0
     total_s: float = 0.0
     max_s: float = 0.0
+    #: Slots whose run of this stage was shed under backpressure (only
+    #: the parallel stage can drop; mirrored on the bus as the
+    #: ``stage.drop`` counter the CLI's drop column reads).
+    drops: int = 0
 
     def record(self, elapsed_s: float) -> None:
         self.calls += 1
@@ -552,7 +572,8 @@ class SlotRuntime:
                  slot_budget_s: float = TTI_DURATION_S[30],
                  drop_cost: Callable[[SlotContext], int] | None = None,
                  flush_timeout_s: float = 30.0,
-                 sanitizer: "Sanitizer | None" = None) -> None:
+                 sanitizer: "Sanitizer | None" = None,
+                 obs: AnyObsContext | None = None) -> None:
         if slot_budget_s <= 0:
             raise SlotRuntimeError(
                 f"slot budget must be positive: {slot_budget_s}")
@@ -582,6 +603,14 @@ class SlotRuntime:
         self.executor = executor or InlineExecutor()
         self.slot_budget_s = slot_budget_s
         self.flush_timeout_s = flush_timeout_s
+        #: Observability bus.  When disabled this is the no-op
+        #: singleton and every emission site is behind an ``if
+        #: self._obs:`` guard — one pointer truthiness check, zero
+        #: allocations on the hot path.  When enabled, all of a slot's
+        #: span/failure events are emitted at *commit* in slot order,
+        #: so inline, threaded and process sessions produce the
+        #: identical event sequence.
+        self._obs = obs if obs is not None else OBS_NOOP
         #: nrsan hook: when enabled, the parallel stage runs inside the
         #: sanitizer's thread-local scope so guarded tracked tables and
         #: audited generators can attribute mutations/draws to it.
@@ -615,11 +644,23 @@ class SlotRuntime:
         for stage in self._backbone:
             start = time.perf_counter()
             verdict = stage.fn(ctx)
-            self._record_stage(stage.name, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self._record_stage(stage.name, elapsed)
+            if self._obs:
+                ctx.stage_times.append((stage.name, elapsed))
             if verdict is False:
                 halted = True
                 break
         if halted:
+            # Halted slots never reach the commit path.  They only
+            # occur before the first committed slot (pre-sync), so
+            # emitting here keeps the global stream in slot order
+            # under every executor.
+            if self._obs:
+                slot = self._slot_index(ctx)
+                for name, elapsed in ctx.stage_times:
+                    self._obs.timing("stage.span", elapsed, stage=name,
+                                     slot=slot, outcome="halt")
             self._drain_ready()
             return ctx
         ctx.seq = self._commit_seq
@@ -635,6 +676,7 @@ class SlotRuntime:
                 with self._lock:
                     self._dropped += 1
                     self._dcis_dropped += int(self._drop_cost(ctx))
+                    self._stage_stats[self._parallel.name].drops += 1
                 self._reorder[ctx.seq] = ctx
         else:
             self._reorder[ctx.seq] = ctx
@@ -681,6 +723,13 @@ class SlotRuntime:
         with self._lock:
             self._stage_stats[name].record(elapsed_s)
 
+    @staticmethod
+    def _slot_index(ctx: SlotContext) -> int:
+        """Slot index for event labelling (commit ticket when the
+        driving loop's output carries no slot)."""
+        slot = getattr(getattr(ctx.output, "slot", None), "index", None)
+        return int(slot) if slot is not None else ctx.seq
+
     # ---------------------------------------------------------- commit
     def _drain_ready(self) -> None:
         for item in self.executor.pop_ready():
@@ -718,10 +767,36 @@ class SlotRuntime:
         if ctx.decode_time_s > self.slot_budget_s:
             with self._lock:
                 self._overruns += 1
+        obs = self._obs
+        slot = self._slot_index(ctx) if obs else ctx.seq
+        if obs:
+            # All of the slot's deferred events flush here, on the
+            # backbone, strictly in commit order: backbone stage spans,
+            # the parallel stage's span (with its drop/backpressure
+            # outcome), then whatever the stages queued on the context
+            # (decode misses, worker-side events from payload
+            # executors).
+            for name, elapsed in ctx.stage_times:
+                obs.timing("stage.span", elapsed, stage=name, slot=slot,
+                           outcome="ok")
+            if self._parallel is not None and not ctx.skip_decode:
+                outcome = "backpressure" if ctx.dropped else "ok"
+                obs.timing("stage.span", ctx.decode_time_s,
+                           stage=self._parallel.name, slot=slot,
+                           outcome=outcome)
+                if ctx.dropped:
+                    obs.count("stage.drop", stage=self._parallel.name,
+                              slot=slot, reason="backpressure")
+            for name, fields in ctx.events:
+                obs.emit(name, **fields)
         for stage in self._sinks:
             start = time.perf_counter()
             stage.fn(ctx)
-            self._record_stage(stage.name, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self._record_stage(stage.name, elapsed)
+            if obs:
+                obs.timing("stage.span", elapsed, stage=stage.name,
+                           slot=slot, outcome="ok")
         with self._lock:
             self._completed += 1
 
@@ -763,5 +838,6 @@ class SlotRuntime:
                 stats.calls = 0
                 stats.total_s = 0.0
                 stats.max_s = 0.0
+                stats.drops = 0
             self._submitted = self._completed = 0
             self._dropped = self._dcis_dropped = self._overruns = 0

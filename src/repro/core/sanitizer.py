@@ -85,6 +85,11 @@ class Sanitizer:
         #: Violation messages, in trip order (also raised at the site).
         self.violations: list[str] = []
         self._tls = threading.local()
+        self._obs: Any = None
+
+    def bind_obs(self, obs: Any) -> None:
+        """Attach an observability bus; trips emit ``nrsan.violation``."""
+        self._obs = obs if obs else None
 
     @classmethod
     def from_env(cls) -> "Sanitizer":
@@ -119,6 +124,9 @@ class Sanitizer:
         where = self.current_stage or "outside any stage"
         full = f"nrsan: {message} (in {where})"
         self.violations.append(full)
+        if self._obs is not None:
+            self._obs.emit("nrsan.violation", stage=where,
+                           reason=message.split(":", 1)[0])
         raise SanitizerViolation(full)
 
     # ------------------------------------------------------------ hooks

@@ -34,6 +34,7 @@ from repro.core.dci_decoder import DecodedDci, GridDciDecoder, \
     pack_tracked_for_decode, record_decode_job
 from repro.core.harq_tracker import HarqTrackerBank
 from repro.core.rach_sniffer import RachSniffer
+from repro.obs.context import AnyObsContext, OBS_NOOP
 from repro.core.runtime import Executor, RuntimeStats, SlotContext, \
     SlotRuntime, Stage, build_executor, sharded_grid_decode
 from repro.core.sanitizer import Sanitizer, parallel_stage, \
@@ -96,7 +97,9 @@ class NRScope:
                  queue_depth: int = 256,
                  slot_budget_s: float | None = None,
                  batch_kernels: bool = True,
-                 sanitizer: Sanitizer | None = None) -> None:
+                 sanitizer: Sanitizer | None = None,
+                 obs: AnyObsContext | None = None,
+                 cell: str | None = None) -> None:
         if fidelity not in ("message", "iq"):
             raise ScopeError(f"unknown fidelity: {fidelity!r}")
         self.link = link
@@ -113,6 +116,17 @@ class NRScope:
         self._sanitizer = sanitizer if sanitizer is not None \
             else Sanitizer.from_env()
         self._rng = self._sanitizer.audit_rng(np.random.default_rng(seed))
+        # Observability bus (repro.obs).  Disabled it is the shared
+        # no-op singleton; every emission site is behind ``if
+        # self._obs:`` so a disabled session pays one pointer check and
+        # allocates nothing.  ``cell`` becomes a constant label on
+        # every event (multi-cell fleets share one bus, one globally
+        # ordered stream).
+        self.cell = cell
+        base_obs = obs if obs is not None else OBS_NOOP
+        self._obs: AnyObsContext = base_obs.bind(cell=cell) if cell \
+            else base_obs
+        self._sanitizer.bind_obs(self._obs)
 
         self.searcher = CellSearcher(sniffer_snr_db=link.snr_db)
         self.counters = ScopeCounters()
@@ -175,7 +189,12 @@ class NRScope:
                                     queue_depth=queue_depth),
             slot_budget_s=slot_budget_s or self._slot_duration_s,
             drop_cost=self._drop_cost,
-            sanitizer=self._sanitizer)
+            sanitizer=self._sanitizer,
+            obs=self._obs)
+        if self._obs:
+            self._obs.emit("session.start", fidelity=fidelity,
+                           executor=self._runtime.executor.name,
+                           seed=seed)
 
     # ----------------------------------------------------- attachment
     @classmethod
@@ -188,6 +207,8 @@ class NRScope:
         gNB's mode so grids are only rendered when they will be used.
         """
         link = sim.sniffer_link(position=position, snr_db=snr_db)
+        if "obs" in kwargs:
+            kwargs.setdefault("cell", getattr(sim.profile, "name", None))
         scope = cls(link=link, scs_khz=sim.profile.scs_khz,
                     fidelity=fidelity or sim.gnb.fidelity,
                     cell_n_id=sim.profile.cell_id, **kwargs)
@@ -247,14 +268,20 @@ class NRScope:
         return bool(self._rng.random() < 0.995)
 
     def _handle_msg4_decode(self, rnti: int, output: SlotOutput,
-                            decoded: bool) -> None:
+                            decoded: bool,
+                            events: list | None = None) -> None:
         assert self.rach is not None
         if self.rach.is_tracked(rnti) or \
                 rnti in self.rach.missed_rach_rntis:
             return
+        slot_index = output.slot.index
         if not decoded:
             self.rach.miss(rnti)
             self.counters.msg4_missed += 1
+            if events is not None:
+                events.append(("msg4.miss", {
+                    "slot": slot_index, "rnti": rnti, "stage": "rach",
+                    "reason": "msg4_decode"}))
             return
         setup = None
         needs_setup = self.rach.cached_setup is None \
@@ -266,20 +293,29 @@ class NRScope:
                                                                rnti):
                 self.rach.miss(rnti)
                 self.counters.msg4_missed += 1
+                if events is not None:
+                    events.append(("msg4.miss", {
+                        "slot": slot_index, "rnti": rnti,
+                        "stage": "rach", "reason": "rrc_setup"}))
                 return
             setup = body
         self.rach.discover(rnti, output.slot.time_s, setup)
         self.counters.msg4_seen += 1
+        if events is not None:
+            events.append(("msg4.tracked", {
+                "slot": slot_index, "rnti": rnti, "stage": "rach"}))
 
-    def _sniff_rach_message_mode(self, output: SlotOutput) -> None:
+    def _sniff_rach_message_mode(self, output: SlotOutput,
+                                 events: list | None = None) -> None:
         assert self._record_decoder is not None
         for record, ok in self._record_decoder.decode_common(
                 output.dci_records):
             if record.rnti == SI_RNTI:
                 continue
-            self._handle_msg4_decode(record.rnti, output, ok)
+            self._handle_msg4_decode(record.rnti, output, ok, events)
 
-    def _sniff_rach_iq_mode(self, grid, output: SlotOutput) -> None:
+    def _sniff_rach_iq_mode(self, grid, output: SlotOutput,
+                            events: list | None = None) -> None:
         assert self._grid_decoder is not None
         knowledge = self.searcher.knowledge
         assert knowledge is not None
@@ -289,14 +325,15 @@ class NRScope:
             if item.dci.rnti == SI_RNTI:
                 continue
             decoded_rntis.add(item.dci.rnti)
-            self._handle_msg4_decode(item.dci.rnti, output, decoded=True)
+            self._handle_msg4_decode(item.dci.rnti, output,
+                                     decoded=True, events=events)
         # MSG 4s transmitted this slot but not blind-decoded are missed
         # forever (the sniffer of course cannot see this; we account it
         # from ground truth for the counters only).
         for record in output.msg4_records:
             if record.tc_rnti not in decoded_rntis:
                 self._handle_msg4_decode(record.tc_rnti, output,
-                                         decoded=False)
+                                         decoded=False, events=events)
 
     # ------------------------------------------------------- DCI path
     def _process_decoded(self, decoded: list[DecodedDci],
@@ -350,6 +387,13 @@ class NRScope:
     def close(self) -> None:
         """Flush and stop the runtime's workers."""
         self._runtime.close()
+        if self._obs:
+            self._obs.emit(
+                "session.end",
+                slots=self.counters.slots_observed,
+                dcis_decoded=self.counters.dcis_decoded,
+                dcis_dropped=self.counters.dcis_dropped,
+                msg4_missed=self.counters.msg4_missed)
 
     @property
     def runtime_stats(self) -> RuntimeStats:
@@ -373,6 +417,9 @@ class NRScope:
             self.searcher.on_sib1(output.sib1)
             if self.searcher.synchronized and not was_synced:
                 self._on_synchronized()
+                if self._obs:
+                    ctx.events.append(("sync.acquired", {
+                        "slot": output.slot.index, "stage": "sync"}))
         if not self.searcher.synchronized:
             return False
         return None
@@ -443,10 +490,11 @@ class NRScope:
             return
         output = ctx.output
         assert self.rach is not None
+        events = ctx.events if self._obs else None
         if self.fidelity == "iq":
-            self._sniff_rach_iq_mode(ctx.grid, output)
+            self._sniff_rach_iq_mode(ctx.grid, output, events)
         else:
-            self._sniff_rach_message_mode(output)
+            self._sniff_rach_message_mode(output, events)
         ctx.tracked = self._sanitizer.guard_tracked(dict(self.rach.tracked))
 
     @parallel_stage
@@ -465,8 +513,24 @@ class NRScope:
                 batch=self.batch_kernels)
         else:
             assert self._record_decoder is not None
+            miss_log: list[tuple[int, int, int]] | None = \
+                [] if self._obs else None
             ctx.decoded = self._record_decoder.decode_slot(
-                output.dci_records, ctx.tracked)
+                output.dci_records, ctx.tracked, miss_log)
+            if miss_log:
+                self._log_dci_misses(ctx, miss_log)
+
+    @staticmethod
+    def _log_dci_misses(ctx: SlotContext,
+                        miss_log: list[tuple[int, int, int]]) -> None:
+        """Queue one ``dci.miss`` event per missed decode; the runtime
+        emits the queue at commit, so the stream is identical whether
+        the misses happened inline, on a thread, or in a worker
+        process (where the log rode the pickled job result)."""
+        for slot_index, rnti, level in miss_log:
+            ctx.events.append(("dci.miss", {
+                "slot": slot_index, "rnti": rnti, "stage": "dci",
+                "reason": "bler", "level": level}))
 
     def _pack_dci(self, ctx: SlotContext):
         """Picklable ``(job, payload)`` for a process executor.
@@ -500,6 +564,7 @@ class NRScope:
         return record_decode_job, {
             "snr_db": rec.sniffer_snr_db, "seed": rec.seed,
             "records": output.dci_records, "tracked": tracked,
+            "collect_misses": bool(self._obs),
         }
 
     def _merge_dci(self, ctx: SlotContext, result) -> None:
@@ -510,10 +575,12 @@ class NRScope:
             assert self._grid_decoder is not None
             self._grid_decoder.attempts += attempts
         else:
-            decoded, attempts, misses = result
+            decoded, attempts, misses, miss_log = result
             assert self._record_decoder is not None
             self._record_decoder.attempts += attempts
             self._record_decoder.misses += misses
+            if miss_log:
+                self._log_dci_misses(ctx, miss_log)
         ctx.decoded = decoded
 
     def _drop_cost(self, ctx: SlotContext) -> int:
@@ -538,10 +605,27 @@ class NRScope:
         if ctx.dropped:
             self.counters.slots_dropped += 1
             self.counters.dcis_dropped += self._drop_cost(ctx)
+            if self._obs:
+                # One failure event per DCI opportunity the shed slot
+                # carried (direct emission is safe here: sinks always
+                # run on the backbone, in commit order).
+                for record in output.dci_records:
+                    if record.search_space == "ue" \
+                            and record.rnti in ctx.tracked:
+                        self._obs.emit(
+                            "dci.drop", slot=output.slot.index,
+                            rnti=record.rnti, stage="dci",
+                            reason="backpressure")
             return
         assert self.spare is not None
+        decoded_before = self.counters.dcis_decoded
         usage = self._process_decoded(ctx.decoded, output)
         self.spare.observe_tti(usage, known_rntis=self.tracked_rntis)
+        if self._obs:
+            n_decoded = self.counters.dcis_decoded - decoded_before
+            if n_decoded:
+                self._obs.count("dci.decoded", value=n_decoded,
+                                slot=output.slot.index, stage="sinks")
 
     def _acquire_from_waveform(self, output: SlotOutput):
         """PSS/SSS search + PBCH decode over the noisy SSB burst."""

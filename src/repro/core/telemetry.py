@@ -9,11 +9,17 @@ the raw stream an application server would subscribe to.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
+from typing import Any
 
 from repro.phy.dci import Dci, DciFormat
 from repro.phy.grant import Grant
+
+#: On-disk JSONL schema version.  v1 streams carried the record fields
+#: bare; v2 adds the ``v`` marker itself.  :meth:`TelemetryRecord.from_dict`
+#: reads both.
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 class TelemetryError(ValueError):
@@ -57,8 +63,29 @@ class TelemetryRecord:
         return self.n_prb * self.n_symbols
 
     def to_json(self) -> str:
-        """One JSON line, the on-disk log format."""
-        return json.dumps(asdict(self), separators=(",", ":"))
+        """One JSON line, the on-disk log format (schema v2)."""
+        payload = {"v": TELEMETRY_SCHEMA_VERSION, **asdict(self)}
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TelemetryRecord":
+        """Tolerant reader for any on-disk schema version.
+
+        A missing ``v`` marks a v1 line.  Unknown keys — fields a later
+        schema may add — are ignored so old readers of new logs and new
+        readers of old logs both work; missing record fields raise
+        :class:`TelemetryError` naming them.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in payload.items()
+                  if key in known}
+        missing = known - kwargs.keys()
+        if missing:
+            version = payload.get("v", 1)
+            raise TelemetryError(
+                f"telemetry line (schema v{version}) is missing "
+                f"fields: {', '.join(sorted(missing))}")
+        return cls(**kwargs)
 
 
 class TelemetryLog:
@@ -161,5 +188,5 @@ class TelemetryLog:
                 line = line.strip()
                 if not line:
                     continue
-                log.add(TelemetryRecord(**json.loads(line)))
+                log.add(TelemetryRecord.from_dict(json.loads(line)))
         return log

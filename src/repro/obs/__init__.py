@@ -1,0 +1,65 @@
+"""repro.obs: the streaming observability bus.
+
+The subsystem the ROADMAP's "streaming telemetry bus with pluggable
+reporters" item describes: a zero-cost-when-disabled
+:class:`~repro.obs.context.ObsContext`, protocol-based reporters
+(JSONL / Prometheus-style counters / in-memory ring), schema-versioned
+events with run ids and commit-order sequence numbers, and the
+failure-clustering TopN analysis (:mod:`repro.obs.topn`).
+
+``reporters_from_specs`` parses the CLI's ``--obs`` arguments
+(``jsonl:PATH``, ``counters``, ``ring[:N]``) into reporter instances.
+"""
+
+from __future__ import annotations
+
+from repro.obs.context import AnyObsContext, Obs, ObsContext, OBS_NOOP
+from repro.obs.events import SCHEMA_VERSION, validate_event, \
+    validate_events
+from repro.obs.reporters import CounterReporter, JsonlReporter, \
+    Reporter, ReporterError, RingReporter
+from repro.obs.topn import cluster_failures, load_events, \
+    render_markdown, report_to_json
+
+__all__ = [
+    "AnyObsContext", "Obs", "ObsContext", "OBS_NOOP", "SCHEMA_VERSION",
+    "validate_event", "validate_events", "CounterReporter",
+    "JsonlReporter", "Reporter", "ReporterError", "RingReporter",
+    "cluster_failures", "load_events", "render_markdown",
+    "report_to_json", "reporters_from_specs",
+]
+
+
+def reporters_from_specs(specs: list[str]) -> list[Reporter]:
+    """Build reporters from CLI ``--obs`` specs.
+
+    * ``jsonl:PATH`` — a :class:`JsonlReporter` writing to ``PATH``;
+    * ``counters``   — a :class:`CounterReporter` (text dump at exit);
+    * ``ring[:N]``   — a :class:`RingReporter` of capacity ``N``.
+    """
+    reporters: list[Reporter] = []
+    for spec in specs:
+        base, _, suffix = spec.partition(":")
+        if base == "jsonl":
+            if not suffix:
+                raise ReporterError(
+                    f"jsonl reporter needs a path: {spec!r}")
+            reporters.append(JsonlReporter(suffix))
+        elif base == "counters":
+            if suffix:
+                raise ReporterError(
+                    f"counters reporter takes no argument: {spec!r}")
+            reporters.append(CounterReporter())
+        elif base == "ring":
+            if suffix:
+                try:
+                    capacity = int(suffix)
+                except ValueError:
+                    raise ReporterError(
+                        f"bad ring capacity: {spec!r}") from None
+                reporters.append(RingReporter(capacity))
+            else:
+                reporters.append(RingReporter())
+        else:
+            raise ReporterError(f"unknown obs reporter spec: {spec!r}")
+    return reporters

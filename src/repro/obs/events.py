@@ -1,0 +1,143 @@
+"""The observability event schema (version 1).
+
+Every event the bus emits is one flat JSON object — one line of a
+``JsonlReporter`` file — carrying a fixed envelope plus free-form
+scalar fields:
+
+========== ========= ====================================================
+field      type      meaning
+========== ========= ====================================================
+``v``      int       schema version (this module's ``SCHEMA_VERSION``)
+``seq``    int       monotonic per-context sequence number (commit order)
+``run_id`` str       session identity shared by every event of a run
+``kind``   str       ``event`` | ``span`` | ``counter``
+``name``   str       dotted lowercase event name (``stage.span``, ...)
+========== ========= ====================================================
+
+Well-known optional fields (typed when present):
+
+* ``cell`` (str) — cell label, bound once per scope;
+* ``slot`` (int) — slot index the event describes;
+* ``rnti`` (int) — UE identity, for failure clustering;
+* ``stage`` (str) — slot-runtime stage name;
+* ``reason`` (str) — failure cause (``bler``, ``backpressure``, ...);
+* ``outcome`` (str) — span outcome (``ok`` | ``backpressure`` | ``halt``);
+* ``duration_us`` (number) — span duration in microseconds;
+* ``value`` (number) — counter increment.
+
+Unknown extra fields are allowed (forward compatibility) but must be
+JSON scalars — events are flat by design so they stay greppable and
+columnar-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+#: Version stamped into every event's ``v`` field.
+SCHEMA_VERSION = 1
+
+#: The three event kinds the bus knows.
+EVENT_KINDS = ("event", "span", "counter")
+
+#: Envelope fields every event must carry, with their required types.
+REQUIRED_FIELDS: dict[str, type] = {
+    "v": int,
+    "seq": int,
+    "run_id": str,
+    "kind": str,
+    "name": str,
+}
+
+#: Well-known optional fields and their allowed types.
+OPTIONAL_FIELDS: dict[str, tuple[type, ...]] = {
+    "cell": (str,),
+    "slot": (int,),
+    "rnti": (int,),
+    "stage": (str,),
+    "reason": (str,),
+    "outcome": (str,),
+    "duration_us": (int, float),
+    "value": (int, float),
+    "level": (int,),
+    "executor": (str,),
+    "fidelity": (str,),
+}
+
+#: JSON scalar types permitted for unknown extra fields.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def validate_event(event: Mapping[str, Any]) -> list[str]:
+    """Check one event against the schema; returns problem strings.
+
+    An empty list means the event is valid.  The check is tolerant of
+    unknown fields (they only need to be JSON scalars) so a newer
+    writer's stream still validates under an older reader.
+    """
+    problems: list[str] = []
+    for field, expected in REQUIRED_FIELDS.items():
+        if field not in event:
+            problems.append(f"missing required field {field!r}")
+        elif not isinstance(event[field], expected) \
+                or isinstance(event[field], bool):
+            problems.append(
+                f"field {field!r} must be {expected.__name__}, "
+                f"got {type(event[field]).__name__}")
+    if not problems:
+        if event["v"] != SCHEMA_VERSION:
+            problems.append(
+                f"unsupported schema version {event['v']!r} "
+                f"(expected {SCHEMA_VERSION})")
+        if event["kind"] not in EVENT_KINDS:
+            problems.append(f"unknown kind {event['kind']!r}")
+        if event["seq"] < 0:
+            problems.append(f"negative seq {event['seq']!r}")
+        if not event["name"]:
+            problems.append("empty event name")
+    for field, value in event.items():
+        if field in REQUIRED_FIELDS:
+            continue
+        allowed = OPTIONAL_FIELDS.get(field)
+        if allowed is not None:
+            if not isinstance(value, allowed) or isinstance(value, bool):
+                names = "/".join(t.__name__ for t in allowed)
+                problems.append(
+                    f"field {field!r} must be {names}, "
+                    f"got {type(value).__name__}")
+        elif not isinstance(value, _SCALAR_TYPES):
+            problems.append(
+                f"extra field {field!r} must be a JSON scalar, "
+                f"got {type(value).__name__}")
+    return problems
+
+
+def validate_events(events: Iterable[Mapping[str, Any]]) \
+        -> list[tuple[int, str]]:
+    """Validate a whole stream; returns ``(index, problem)`` pairs.
+
+    Also enforces the cross-event contract: ``seq`` strictly increases
+    (the bus assigns sequence numbers in commit order) and ``run_id``
+    is constant within one stream.
+    """
+    problems: list[tuple[int, str]] = []
+    last_seq = -1
+    run_id: str | None = None
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append((index, problem))
+        seq = event.get("seq")
+        if isinstance(seq, int) and not isinstance(seq, bool):
+            if seq <= last_seq:
+                problems.append(
+                    (index, f"seq {seq} not after previous {last_seq}"))
+            last_seq = seq
+        this_run = event.get("run_id")
+        if isinstance(this_run, str):
+            if run_id is None:
+                run_id = this_run
+            elif this_run != run_id:
+                problems.append(
+                    (index,
+                     f"run_id {this_run!r} differs from {run_id!r}"))
+    return problems

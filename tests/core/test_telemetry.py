@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.telemetry import TelemetryError, TelemetryLog, \
-    TelemetryRecord
+from repro.core.telemetry import TELEMETRY_SCHEMA_VERSION, \
+    TelemetryError, TelemetryLog, TelemetryRecord
 from repro.phy.dci import Dci, DciFormat, riv_encode
 from repro.phy.grant import GrantConfig, dci_to_grant
 
@@ -34,7 +34,32 @@ class TestRecord:
         import json
         record = make_record()
         data = json.loads(record.to_json())
-        assert TelemetryRecord(**data) == record
+        assert data["v"] == TELEMETRY_SCHEMA_VERSION
+        assert TelemetryRecord.from_dict(data) == record
+
+    def test_from_dict_reads_v1_lines(self):
+        # A v1 stream has no "v" marker: just the bare record fields.
+        import json
+        record = make_record()
+        data = json.loads(record.to_json())
+        del data["v"]
+        assert TelemetryRecord.from_dict(data) == record
+
+    def test_from_dict_ignores_future_fields(self):
+        # A newer writer may add fields; this reader must skip them.
+        import json
+        record = make_record()
+        data = json.loads(record.to_json())
+        data["v"] = TELEMETRY_SCHEMA_VERSION + 1
+        data["beam_index"] = 3
+        assert TelemetryRecord.from_dict(data) == record
+
+    def test_from_dict_missing_field_raises(self):
+        import json
+        data = json.loads(make_record().to_json())
+        del data["rnti"]
+        with pytest.raises(TelemetryError, match="rnti"):
+            TelemetryRecord.from_dict(data)
 
 
 class TestLogQueries:
@@ -91,4 +116,19 @@ class TestLogQueries:
         assert count == 16
         reloaded = TelemetryLog.read_jsonl(path)
         assert len(reloaded) == 16
+        assert reloaded.records == log.records
+
+    def test_read_jsonl_accepts_v1_file(self, tmp_path):
+        # Strip the schema marker to fabricate a pre-versioning log.
+        import json
+        log = self.make_log()
+        path = tmp_path / "v1.jsonl"
+        log.write_jsonl(path)
+        lines = []
+        for line in path.read_text().splitlines():
+            data = json.loads(line)
+            data.pop("v")
+            lines.append(json.dumps(data))
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = TelemetryLog.read_jsonl(path)
         assert reloaded.records == log.records

@@ -1,0 +1,108 @@
+"""Tests for the ObsContext / no-op singleton pair."""
+
+import pytest
+
+from repro.obs import OBS_NOOP, ObsContext, RingReporter, \
+    validate_events
+
+
+class TestNoOp:
+    def test_create_without_reporters_is_the_singleton(self):
+        assert ObsContext.create() is OBS_NOOP
+        assert ObsContext.create(()) is OBS_NOOP
+
+    def test_falsy_and_disabled(self):
+        assert not OBS_NOOP
+        assert OBS_NOOP.enabled is False
+
+    def test_bind_returns_self(self):
+        assert OBS_NOOP.bind(cell="a") is OBS_NOOP
+
+    def test_all_methods_are_no_ops(self):
+        OBS_NOOP.emit("x", rnti=1)
+        OBS_NOOP.count("x", value=2)
+        OBS_NOOP.timing("x", 0.5)
+        with OBS_NOOP.span("x"):
+            pass
+        OBS_NOOP.close()
+
+
+class TestEnabled:
+    def make(self, **kwargs):
+        ring = RingReporter()
+        obs = ObsContext.create([ring], run_id="r1", **kwargs)
+        return obs, ring
+
+    def test_truthy_and_enabled(self):
+        obs, _ = self.make()
+        assert obs
+        assert obs.enabled
+        assert obs.run_id == "r1"
+
+    def test_envelope_fields(self):
+        obs, ring = self.make()
+        obs.emit("dci.miss", rnti=0x4601, slot=7)
+        [event] = ring.events
+        assert event["kind"] == "event"
+        assert event["name"] == "dci.miss"
+        assert event["run_id"] == "r1"
+        assert event["seq"] == 0
+        assert event["rnti"] == 0x4601
+
+    def test_seq_is_strictly_increasing(self):
+        obs, ring = self.make()
+        for i in range(5):
+            obs.emit("e", slot=i)
+        assert [e["seq"] for e in ring.events] == list(range(5))
+        assert validate_events(ring.events) == []
+
+    def test_count_and_timing_kinds(self):
+        obs, ring = self.make()
+        obs.count("dci.decoded", value=3)
+        obs.timing("stage.span", 0.001, stage="dci")
+        counter, span = ring.events
+        assert counter["kind"] == "counter" and counter["value"] == 3
+        assert span["kind"] == "span"
+        assert span["duration_us"] == pytest.approx(1000.0)
+
+    def test_span_contextmanager_measures(self):
+        obs, ring = self.make()
+        with obs.span("stage.span", stage="x"):
+            pass
+        [event] = ring.events
+        assert event["duration_us"] >= 0.0
+
+    def test_bind_adds_constant_labels_shares_seq(self):
+        obs, ring = self.make()
+        child = obs.bind(cell="srsran")
+        obs.emit("a")
+        child.emit("b")
+        first, second = ring.events
+        assert "cell" not in first
+        assert second["cell"] == "srsran"
+        assert second["seq"] == first["seq"] + 1
+        assert validate_events(ring.events) == []
+
+    def test_explicit_fields_override_labels(self):
+        obs, ring = self.make()
+        child = obs.bind(cell="a")
+        child.emit("x", cell="b")
+        assert ring.events[0]["cell"] == "b"
+
+    def test_reporter_exceptions_are_swallowed(self):
+        class Broken:
+            def emit(self, event):
+                raise RuntimeError("boom")
+
+            def close(self):
+                pass
+
+        ring = RingReporter()
+        obs = ObsContext.create([Broken(), ring], run_id="r1")
+        obs.emit("x")
+        assert obs.reporter_errors == 1
+        assert len(ring.events) == 1
+
+    def test_default_run_id_is_generated(self):
+        obs = ObsContext.create([RingReporter()])
+        assert len(obs.run_id) == 12

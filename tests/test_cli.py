@@ -51,6 +51,84 @@ class TestSniff:
         with pytest.raises(SystemExit):
             main(["sniff", "--profile", "fantasy"])
 
+    def test_runtime_stats_prints_drops_column(self, capsys):
+        assert main(["sniff", "--seconds", "0.3", "--ues", "1",
+                     "--runtime-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime [inline]" in out
+        assert "drops" in out
+
+    def test_obs_jsonl_stream(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(["sniff", "--seconds", "0.3", "--ues", "1",
+                     "--obs", f"jsonl:{path}"]) == 0
+        from repro.obs import validate_events
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        assert events
+        assert validate_events(events) == []
+        assert events[0]["name"] == "session.start"
+        assert events[0]["run_id"] == "run-00000000"
+        assert events[-1]["name"] == "session.end"
+
+    def test_obs_counters_prints_exposition(self, capsys):
+        assert main(["sniff", "--seconds", "0.3", "--ues", "1",
+                     "--obs", "counters"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE nrscope_stage_span_duration_us histogram" in out
+
+    def test_obs_bad_spec(self, capsys):
+        assert main(["sniff", "--seconds", "0.1",
+                     "--obs", "statsd:nowhere"]) == 2
+        assert "unknown obs reporter" in capsys.readouterr().err
+
+
+class TestObs:
+    def _stream(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["sniff", "--seconds", "0.5", "--ues", "2",
+                     "--snr-db", "6.0",
+                     "--obs", f"jsonl:{path}"]) == 0
+        return path
+
+    def test_validate_ok(self, tmp_path, capsys):
+        path = self._stream(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_rejects_broken_stream(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"v":1,"seq":0,"run_id":"r","kind":"event","name":"a"}\n'
+            '{"v":1,"seq":0,"run_id":"r","kind":"event","name":"b"}\n')
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "seq" in capsys.readouterr().out
+
+    def test_topn_reports_clusters(self, tmp_path, capsys):
+        path = self._stream(tmp_path)
+        capsys.readouterr()
+        json_path = tmp_path / "topn.json"
+        md_path = tmp_path / "topn.md"
+        assert main(["obs", "topn", str(path), "--top", "5",
+                     "--json", str(json_path),
+                     "--md", str(md_path)]) == 0
+        document = json.loads(json_path.read_text())
+        assert document["v"] == 1
+        assert document["failures_total"] >= 0
+        assert "# Failure clusters (TopN)" in md_path.read_text()
+
+    def test_topn_stdout_markdown(self, tmp_path, capsys):
+        path = self._stream(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "topn", str(path)]) == 0
+        assert "Failure clusters" in capsys.readouterr().out
+
+    def test_missing_stream_errors(self, tmp_path, capsys):
+        assert main(["obs", "topn",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert "no such event stream" in capsys.readouterr().err
+
 
 class TestFigure:
     def test_fig10(self, capsys):
