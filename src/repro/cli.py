@@ -286,8 +286,9 @@ def cmd_obs(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.obs import SCHEMA_VERSION, cluster_failures, \
-        load_events, render_markdown, report_to_json, validate_events
+    from repro.obs import KNOWN_EVENTS, SCHEMA_VERSION, \
+        cluster_failures, load_events, render_markdown, \
+        report_to_json, validate_events
     from repro.obs.topn import TopnError
 
     try:
@@ -297,7 +298,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
         return 2
 
     if args.obs_command == "validate":
-        problems = validate_events(events)
+        problems = validate_events(events, registry=KNOWN_EVENTS)
         if problems:
             for index, problem in problems[:20]:
                 print(f"event {index}: {problem}")

@@ -89,10 +89,15 @@ class RecordDciDecoder:
         self.misses = 0
 
     def decode_slot(self, records: list[DciRecord],
-                    tracked: dict[int, TrackedUe],
+                    tracked: dict[int, TrackedUe] | frozenset[int],
                     miss_log: list[tuple[int, int, int]] | None = None) \
             -> list[DecodedDci]:
         """Decode this slot's UE-search-space DCIs for tracked RNTIs.
+
+        ``tracked`` only ever answers RNTI membership here, so it may
+        be the live tracked-UE dict (inline/threaded) or the immutable
+        ``frozenset`` of RNTIs a process payload ships (R009: the live
+        table must not cross the pickle boundary).
 
         Runs on the slot runtime's parallel stage, so each decision is a
         counter-based draw keyed on (seed, slot, rnti, CCE, level,
@@ -604,7 +609,9 @@ def record_decode_job(payload: dict) \
 
     The decode decisions are counter-keyed on (seed, slot, rnti, CCE,
     level, direction), so a fresh decoder with the session seed draws
-    the identical stream in any process.
+    the identical stream in any process.  ``payload["tracked"]`` is
+    the slim ``frozenset`` of tracked RNTIs (membership is all the
+    record decode needs — see :meth:`RecordDciDecoder.decode_slot`).
 
     When ``payload["collect_misses"]`` is set, the fourth element
     carries the per-miss ``(slot, rnti, level)`` log back over the wire

@@ -561,9 +561,14 @@ class NRScope:
             }
         rec = self._record_decoder
         assert rec is not None
+        # The record decode only tests RNTI membership, so the wire
+        # carries an immutable projection of the tracked table rather
+        # than the live dict (which the backbone keeps mutating while
+        # the pickle walks it — lint rule R009).
         return record_decode_job, {
             "snr_db": rec.sniffer_snr_db, "seed": rec.seed,
-            "records": output.dci_records, "tracked": tracked,
+            "records": output.dci_records,
+            "tracked": frozenset(tracked),
             "collect_misses": bool(self._obs),
         }
 

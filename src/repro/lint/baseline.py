@@ -105,7 +105,8 @@ class Baseline:
         return fresh, suppressed
 
     def unmatched(self, findings: list[Finding],
-                  scanned_rels: set[str] | None = None) \
+                  scanned_rels: set[str] | None = None,
+                  active_rules: set[str] | None = None) \
             -> list[tuple[str, str, str]]:
         """Baseline entries no longer matched by any current finding.
 
@@ -115,11 +116,18 @@ class Baseline:
         ``scanned_rels`` is given, only entries for files the scan
         actually covered are considered, so a scoped run (``--changed``,
         a single file) never flags entries for files it did not look at.
+        When ``active_rules`` is given, entries for rules that did not
+        run are likewise never judged — a ``--select R012`` or
+        ``--changed`` scan (which disables whole-program rules) produces
+        zero findings for the other rules by construction, not because
+        the grandfathered code was fixed.
         """
         used: Counter = Counter(f.group_key for f in findings)
         orphans: list[tuple[str, str, str]] = []
         for key in sorted(self.entries):
-            _, rel, _ = key
+            rule, rel, _ = key
+            if active_rules is not None and rule not in active_rules:
+                continue
             if scanned_rels is not None and \
                     not _in_scope(rel, scanned_rels):
                 continue
@@ -128,18 +136,21 @@ class Baseline:
         return orphans
 
     def prune(self, findings: list[Finding],
-              scanned_rels: set[str] | None = None) -> int:
+              scanned_rels: set[str] | None = None,
+              active_rules: set[str] | None = None) -> int:
         """Shrink entries to what current findings still need.
 
         Counts are reduced to the number of matching findings (entries
         dropping to zero are removed along with their justification);
         returns how many suppression slots were pruned.  Scoping via
-        ``scanned_rels`` mirrors :meth:`unmatched`.
+        ``scanned_rels`` and ``active_rules`` mirrors :meth:`unmatched`.
         """
         used: Counter = Counter(f.group_key for f in findings)
         pruned = 0
         for key in list(self.entries):
-            _, rel, _ = key
+            rule, rel, _ = key
+            if active_rules is not None and rule not in active_rules:
+                continue
             if scanned_rels is not None and \
                     not _in_scope(rel, scanned_rels):
                 continue

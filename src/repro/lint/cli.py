@@ -6,6 +6,7 @@ Modes::
 
     python -m repro.lint [PATH...]        # lint (default)
     python -m repro.lint effects [PATH...]  # JSON effect report
+    python -m repro.lint contracts [PATH...]  # JSON contract report
     python -m repro.lint --changed [REF]  # lint only git-changed files
 
 Exit codes: 0 clean (or fully baselined), 1 new findings, 2 analyzer
@@ -37,12 +38,14 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the lint options (shared with the repro.cli subcommand)."""
     parser.add_argument("paths", nargs="*", metavar="PATH",
                         help="files or directories to lint; the first "
-                             "may be the literal 'effects' to emit the "
-                             "JSON effect report instead of findings "
+                             "may be the literal 'effects' or "
+                             "'contracts' to emit the corresponding "
+                             "JSON report instead of findings "
                              "(default: the repro package)")
-    parser.add_argument("--format", choices=["text", "json"],
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text", dest="output_format",
-                        help="finding output format")
+                        help="finding output format (sarif emits a "
+                             "SARIF 2.1.0 log for code scanning)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help=f"baseline file of grandfathered findings "
                              f"(default: ./{DEFAULT_BASELINE_NAME} "
@@ -136,11 +139,89 @@ def _run_effects(args: argparse.Namespace, paths: list[str]) -> int:
     return 0
 
 
+def _run_contracts(args: argparse.Namespace, paths: list[str]) -> int:
+    """The ``contracts`` mode: emit the cross-boundary contract report.
+
+    Three sections mirror the three R009-R012 analyses: ``wire`` (what
+    crosses the process-executor boundary and how), ``shapes`` (dtype/
+    layout interpretation of the hot batched modules, including scalar/
+    batch twins), and ``obs`` (every emission site versus the declared
+    event registry).
+    """
+    from repro.lint.obsconform import collect_emissions
+    from repro.lint.rules.r010_dtype_drift import HOT_FILES, HOT_PREFIXES
+    from repro.lint.shapes import analyze_module
+    from repro.obs.events import KNOWN_EVENTS
+
+    engine = LintEngine(rules=[])
+    modules, parse_failures = engine.collect(
+        _resolve_paths(args, paths))
+    program = engine.build_program(modules)
+
+    shapes_section: dict[str, object] = {}
+    for module in modules:
+        if not (module.rel.startswith(HOT_PREFIXES)
+                or module.rel in HOT_FILES):
+            continue
+        mod = analyze_module(module.tree)
+        functions = {
+            qualname: {
+                "layouts": {name: value.render() for name, value
+                            in sorted(shapes.layouts.items())},
+                "return": shapes.return_value.render(),
+                "issues": [
+                    {"kind": issue.kind, "line": issue.lineno,
+                     "detail": issue.detail}
+                    for issue in shapes.issues
+                ],
+            }
+            for qualname, shapes in sorted(mod.functions.items())
+        }
+        twins = [
+            {"scalar": scalar.qualname, "batch": batch.qualname,
+             "scalar_return": scalar.return_value.render(),
+             "batch_return": batch.return_value.render()}
+            for scalar, batch in mod.batch_twins()
+        ]
+        shapes_section[module.rel] = {
+            "functions": functions, "twins": twins,
+        }
+
+    sites: list[dict[str, object]] = []
+    unknown: list[str] = []
+    for module in modules:
+        for site in collect_emissions(module.tree):
+            known = site.name in KNOWN_EVENTS
+            sites.append({
+                "rel": module.rel, "line": site.lineno,
+                "name": site.name, "kind": site.kind,
+                "method": site.method, "known": known,
+            })
+            if site.name is not None and not known:
+                unknown.append(site.name)
+
+    report = {
+        "wire": program.wire.report(),
+        "shapes": shapes_section,
+        "obs": {
+            "n_sites": len(sites),
+            "known_events": sorted(KNOWN_EVENTS),
+            "unknown_names": sorted(set(unknown)),
+            "sites": sorted(sites,
+                            key=lambda s: (s["rel"], s["line"])),
+        },
+        "parse_failures": [f.rel for f in parse_failures],
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
     paths = list(args.paths)
     effects_mode = bool(paths) and paths[0] == "effects"
-    if effects_mode:
+    contracts_mode = bool(paths) and paths[0] == "contracts"
+    if effects_mode or contracts_mode:
         paths = paths[1:]
 
     try:
@@ -163,6 +244,8 @@ def run(args: argparse.Namespace) -> int:
     try:
         if effects_mode:
             return _run_effects(args, paths)
+        if contracts_mode:
+            return _run_contracts(args, paths)
 
         if args.changed is not None:
             if paths:
@@ -200,6 +283,13 @@ def run(args: argparse.Namespace) -> int:
               f"{baseline_path}")
         return 0
 
+    # Only entries for rules that actually ran may be judged orphaned.
+    # A --changed scan additionally drops whole-program rules from the
+    # active set: they run against a *partial* program there, so their
+    # silence proves nothing about grandfathered findings.
+    active_rules = {rule.rule_id for rule in rules
+                    if args.changed is None or not rule.needs_program}
+
     suppressed: list = []
     if baseline_path is not None and baseline_path.is_file():
         try:
@@ -208,10 +298,12 @@ def run(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         orphans = baseline.unmatched(findings,
-                                     scanned_rels=engine.last_scanned)
+                                     scanned_rels=engine.last_scanned,
+                                     active_rules=active_rules)
         if args.prune_baseline:
             pruned = baseline.prune(findings,
-                                    scanned_rels=engine.last_scanned)
+                                    scanned_rels=engine.last_scanned,
+                                    active_rules=active_rules)
             baseline.save(baseline_path)
             print(f"pruned {pruned} orphaned suppression(s) from "
                   f"{baseline_path}")
@@ -232,6 +324,9 @@ def run(args: argparse.Namespace) -> int:
             "findings": [f.to_json() for f in findings],
             "suppressed": len(suppressed),
         }, indent=2))
+    elif args.output_format == "sarif":
+        from repro.lint.sarif import render_sarif
+        print(render_sarif(findings, rules), end="")
     else:
         for finding in findings:
             print(finding.render())

@@ -1,0 +1,64 @@
+"""R009: wire payloads must not capture mutable shared state.
+
+A ``ProcessExecutor`` run pickles a ``(job, payload)`` per slot into a
+spawned worker and pickles the job's result back.  The payload must be
+a *projection* of backbone state, not an alias of it: shipping the
+live tracked-UE table forks it at a racy snapshot instant (the
+backbone keeps discovering/pruning UEs while the pickle walks it),
+shipping a ``numpy.random.Generator`` forks the RNG stream, shipping
+an ``ObsContext`` or reporter lets a worker emit outside commit order,
+and lambdas / open files / lock-holding instances simply fail to
+pickle — but only under ``--executor process:N``, where the seed
+determinism tests do not look.
+
+This rule runs the wire escape analysis (:mod:`repro.lint.wire`) over
+the scan's call graph: every ``Stage(..., pack=...)`` callable and the
+job functions its returns name are payload roots, each payload field
+and job-result element is classified, and every escape becomes a
+finding anchored at the offending expression.  The sanctioned
+projections — ``pack_*`` helpers, ``frozenset(tracked)``-style
+shallow copies, scalar coercions — pass clean.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+@register
+class WireEscapeRule(Rule):
+    """Flag shared-state and unpicklable captures in wire payloads."""
+
+    rule_id = "R009"
+    title = "mutable shared state escapes into a wire payload"
+    needs_program = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        program = ctx.program
+        if program is None:  # pragma: no cover - engine supplies it
+            return
+        for root in program.wire.roots:
+            if root.rel != ctx.rel:
+                continue
+            short = root.qualname.split("::", 1)[-1]
+            for fld in root.fields:
+                for escape in fld.escapes:
+                    lineno = escape.lineno or fld.lineno
+                    snippet = ""
+                    if 1 <= lineno <= len(ctx.lines):
+                        snippet = ctx.lines[lineno - 1].strip()
+                    where = f"field {fld.key!r}" \
+                        if root.role == "pack" else fld.key
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        message=(
+                            f"wire payload of '{short}' ({where}) "
+                            f"escapes across the process boundary: "
+                            f"{escape.detail}"),
+                        path=str(ctx.path), rel=ctx.rel,
+                        line=lineno, col=escape.col,
+                        snippet=snippet)

@@ -1,0 +1,77 @@
+"""R010: batched PHY dataflow must not drift dtypes.
+
+The batch kernels' contract is *bit identity* with their scalar twins
+— same rounding, same packed bits, 4x the throughput.  Two dtype bugs
+break it without any test noticing until the numbers diverge:
+
+* a **silent upcast**: a float32/complex64 LLR or symbol matrix meets
+  a float64/complex128 operand and the rest of the chain runs wide —
+  different rounding than the scalar path, double the memory traffic;
+* **return drift**: a function whose declared ``Layout: return ...``
+  dtype (or whose scalar twin) disagrees with what its returns
+  actually produce, so callers get a different dtype depending on
+  which path ran.
+
+This rule runs the abstract interpreter (:mod:`repro.lint.shapes`)
+over every function of a hot module.  ``Layout:`` docstring lines seed
+parameter dtypes/shapes; upcast issues and declared-return drift
+become findings, and every ``(f, f_batch)`` pair with concretely
+inferred but *different* return dtypes is flagged as twin drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.shapes import analyze_module
+
+#: Where the batched dataflow lives: the PHY kernels and the decoder
+#: that drives them.
+HOT_PREFIXES = ("phy/",)
+HOT_FILES = ("core/dci_decoder.py",)
+
+#: ShapeIssue kinds this rule owns (R011 owns ``broadcast``).
+_OWNED = ("upcast", "return-drift")
+
+
+@register
+class DtypeDriftRule(Rule):
+    """Flag silent upcasts and scalar/batch return-dtype drift."""
+
+    rule_id = "R010"
+    title = "dtype drift in the batched PHY dataflow"
+
+    def applies(self, rel: str) -> bool:
+        return rel.startswith(HOT_PREFIXES) or rel in HOT_FILES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = analyze_module(ctx.tree)
+        for shapes in module.functions.values():
+            for issue in shapes.issues:
+                if issue.kind not in _OWNED:
+                    continue
+                node = ast.Constant(value=None)
+                node.lineno = issue.lineno
+                node.col_offset = issue.col
+                yield self.finding(
+                    ctx, node,
+                    f"in '{shapes.qualname}': {issue.detail}")
+        for scalar, batch in module.batch_twins():
+            s_dtype = scalar.return_value.dtype
+            b_dtype = batch.return_value.dtype
+            if s_dtype.is_concrete and b_dtype.is_concrete \
+                    and s_dtype != b_dtype:
+                node = ast.Constant(value=None)
+                node.lineno = batch.lineno
+                node.col_offset = 0
+                yield self.finding(
+                    ctx, node,
+                    f"'{batch.qualname}' returns {b_dtype.name} but "
+                    f"its scalar twin '{scalar.qualname}' returns "
+                    f"{s_dtype.name} — the batched path must be "
+                    f"bit-identical to the scalar path; align the "
+                    f"return dtypes")

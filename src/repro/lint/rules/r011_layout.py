@@ -1,0 +1,55 @@
+"""R011: broadcasts must not reinterpret a declared (N, B) layout.
+
+The batch kernels carry stacked candidate/bit matrices whose axes are
+*meaningful*: ``N`` candidates by ``B`` bits, ``B`` batch rows by
+``E`` LLRs.  Numpy broadcasting does not know that — aligning an
+``(N,)`` per-candidate vector against the bit axis "works" whenever
+the sizes happen to coincide (and every lab config where ``N == B``
+will make them coincide) while silently computing garbage: each
+candidate's scale lands on the wrong bit column.
+
+Functions declare their axes with ``Layout:`` docstring lines
+(``Layout: llrs (N, B) float64``); the abstract interpreter
+(:mod:`repro.lint.shapes`) propagates the symbolic dims through the
+body and reports any broadcast that aligns two *different* declared
+symbols (or two different literals, neither 1) on the same axis.
+Those conflicts become findings here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.r010_dtype_drift import HOT_FILES, HOT_PREFIXES
+from repro.lint.shapes import analyze_module
+
+
+@register
+class LayoutRule(Rule):
+    """Flag symbol-misaligned broadcasts in declared layouts."""
+
+    rule_id = "R011"
+    title = "broadcast misaligns a declared axis layout"
+
+    def applies(self, rel: str) -> bool:
+        return rel.startswith(HOT_PREFIXES) or rel in HOT_FILES
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        module = analyze_module(ctx.tree)
+        for shapes in module.functions.values():
+            for issue in shapes.issues:
+                if issue.kind != "broadcast":
+                    continue
+                node = ast.Constant(value=None)
+                node.lineno = issue.lineno
+                node.col_offset = issue.col
+                yield self.finding(
+                    ctx, node,
+                    f"in '{shapes.qualname}': {issue.detail} — "
+                    f"reshape or transpose so declared axes line up; "
+                    f"a size coincidence (N == B) would hide this at "
+                    f"runtime")

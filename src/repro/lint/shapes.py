@@ -1,0 +1,1011 @@
+"""Abstract dtype/shape interpretation for the batched PHY dataflow.
+
+The batched kernels (PR 7) promise bit-identity with their scalar
+twins, and that promise has two silent failure modes the runtime never
+reports: a dtype that *widens* somewhere along the chain (a float32 LLR
+matrix meeting a float64 scratch buffer quietly runs the rest of the
+decode in float64 — different rounding, double the memory traffic) and
+a broadcast that *reinterprets* the ``(N, B)`` candidate/bit layout (a
+per-candidate ``(N,)`` vector aligned against the bit axis "works"
+whenever ``N == B`` numerically and corrupts every row otherwise).
+This module gives nrlint a small abstract domain to see both statically:
+
+* **DType** — a finite chain lattice ``bool < uint8 < int8 < ... <
+  float32 < float64 < complex64 < complex128`` with ``BOTTOM``/``TOP``.
+  The total order is a deliberate, documented approximation of numpy's
+  promotion partial order: ``join`` is ``max``, so the lattice laws
+  (commutative, associative, idempotent joins; antisymmetric order)
+  hold by construction and are property-tested.  The linter only ever
+  *compares* widths within one kind (32 vs 64-bit float/complex), where
+  the chain agrees with numpy exactly.
+* **Dim** — a symbolic dimension: an integer literal, a declared symbol
+  (``N``, ``B``, ``L``), or unknown.  Two distinct symbols are claimed
+  distinct; unknown matches anything (conservative silence).
+* **Shape** — a tuple of dims or unknown rank; **Value** — a (dtype,
+  shape) pair, the abstract element propagated through expressions.
+
+Functions declare their contract with ``Layout:`` docstring lines::
+
+    Layout: llrs (N, B) float64
+    Layout: return (N, K) uint8
+
+which seed the interpreter's environment (and double as reviewable
+documentation of the wire format).  :func:`analyze_module` runs a
+forward pass per function — assignments, branches joined, loops run
+twice through :func:`widen_value` — and records
+:class:`ShapeIssue` entries that rules R010 (upcasts, scalar/``_batch``
+return-dtype drift) and R011 (symbol-conflicting broadcasts) turn into
+findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import dotted_name
+
+# --------------------------------------------------------------- dtype
+
+#: The dtype chain, narrowest to widest.  ``join`` is max-by-index.
+DTYPE_CHAIN: tuple[str, ...] = (
+    "bool", "uint8", "int8", "uint16", "int16", "uint32", "int32",
+    "uint64", "int64", "float16", "float32", "float64",
+    "complex64", "complex128",
+)
+
+_LEVELS: dict[str, int] = {name: i for i, name in enumerate(DTYPE_CHAIN)}
+
+#: Spellings normalised onto the chain (python builtins, numpy aliases).
+_DTYPE_ALIASES: dict[str, str] = {
+    "bool_": "bool", "int": "int64", "intp": "int64", "intc": "int32",
+    "long": "int64", "longlong": "int64", "byte": "int8",
+    "ubyte": "uint8", "uint": "uint64",
+    "float": "float64", "float_": "float64", "double": "float64",
+    "single": "float32", "half": "float16",
+    "complex": "complex128", "cfloat": "complex128",
+    "cdouble": "complex128", "csingle": "complex64",
+}
+
+
+@dataclass(frozen=True)
+class DType:
+    """One element of the dtype chain lattice (plus TOP and BOTTOM)."""
+
+    level: int  #: -1 = BOTTOM, len(DTYPE_CHAIN) = TOP
+
+    @property
+    def name(self) -> str:
+        if self.level < 0:
+            return "<bottom>"
+        if self.level >= len(DTYPE_CHAIN):
+            return "<unknown>"
+        return DTYPE_CHAIN[self.level]
+
+    @property
+    def is_concrete(self) -> bool:
+        return 0 <= self.level < len(DTYPE_CHAIN)
+
+    @property
+    def kind(self) -> str:
+        """``b`` bool, ``i`` integer, ``f`` float, ``c`` complex, ``?``."""
+        if not self.is_concrete:
+            return "?"
+        name = self.name
+        if name == "bool":
+            return "b"
+        if name.startswith(("uint", "int")):
+            return "i"
+        if name.startswith("float"):
+            return "f"
+        return "c"
+
+    def leq(self, other: "DType") -> bool:
+        """The lattice partial order (here total: chain position)."""
+        return self.level <= other.level
+
+    def join(self, other: "DType") -> "DType":
+        """Least upper bound."""
+        return self if other.level <= self.level else other
+
+    def meet(self, other: "DType") -> "DType":
+        """Greatest lower bound."""
+        return self if self.level <= other.level else other
+
+
+DTYPE_BOTTOM = DType(-1)
+DTYPE_TOP = DType(len(DTYPE_CHAIN))
+
+
+def dtype_named(name: str) -> DType:
+    """Look a dtype up by (possibly aliased) name; TOP when unknown."""
+    leaf = name.split(".")[-1]
+    leaf = _DTYPE_ALIASES.get(leaf, leaf)
+    level = _LEVELS.get(leaf)
+    return DTYPE_TOP if level is None else DType(level)
+
+
+def widen_dtype(old: DType, new: DType) -> "DType":
+    """Loop widening: keep ``old`` if ``new`` fits under it, else TOP.
+
+    Always an upper bound of ``join(old, new)`` and monotone in ``new``,
+    so two body passes suffice for termination.
+    """
+    return old if new.leq(old) else DTYPE_TOP
+
+
+# ---------------------------------------------------------------- dims
+
+@dataclass(frozen=True)
+class Dim:
+    """A literal, symbolic, or unknown dimension."""
+
+    size: int | None = None
+    symbol: str | None = None
+
+    @property
+    def known(self) -> bool:
+        return self.size is not None or self.symbol is not None
+
+    def render(self) -> str:
+        if self.size is not None:
+            return str(self.size)
+        if self.symbol is not None:
+            return self.symbol
+        return "?"
+
+    def join(self, other: "Dim") -> "Dim":
+        return self if self == other else DIM_UNKNOWN
+
+
+DIM_UNKNOWN = Dim()
+
+
+def dim_lit(size: int) -> Dim:
+    """A literal dimension."""
+    return Dim(size=size)
+
+
+def dim_sym(symbol: str) -> Dim:
+    """A declared symbolic dimension."""
+    return Dim(symbol=symbol)
+
+
+# -------------------------------------------------------------- shapes
+
+@dataclass(frozen=True)
+class Shape:
+    """A tuple of dims, or unknown rank (``dims is None``)."""
+
+    dims: tuple[Dim, ...] | None = None
+
+    @property
+    def known_rank(self) -> bool:
+        return self.dims is not None
+
+    def render(self) -> str:
+        if self.dims is None:
+            return "(?)"
+        return "(" + ", ".join(d.render() for d in self.dims) + ")"
+
+    def join(self, other: "Shape") -> "Shape":
+        if self.dims is None or other.dims is None \
+                or len(self.dims) != len(other.dims):
+            return SHAPE_UNKNOWN
+        return Shape(tuple(a.join(b)
+                           for a, b in zip(self.dims, other.dims)))
+
+
+SHAPE_UNKNOWN = Shape()
+SHAPE_SCALAR = Shape(())
+
+
+def widen_shape(old: Shape, new: Shape) -> Shape:
+    """Loop widening for shapes: join (finite lattice per rank)."""
+    return old.join(new)
+
+
+def broadcast(a: Shape, b: Shape) -> tuple[Shape, list[str]]:
+    """Numpy-style broadcast of two shapes.
+
+    Returns the result shape plus conflict strings for axis pairs
+    where two *known* dims disagree and neither is a literal 1 —
+    either a guaranteed runtime error (literal mismatch) or, worse, a
+    symbol mismatch (``N`` against ``B``) that silently "works" when
+    the sizes coincide and reinterprets the layout.
+    """
+    if a.dims is None or b.dims is None:
+        return SHAPE_UNKNOWN, []
+    conflicts: list[str] = []
+    out: list[Dim] = []
+    rank = max(len(a.dims), len(b.dims))
+    for axis in range(1, rank + 1):
+        da = a.dims[-axis] if axis <= len(a.dims) else dim_lit(1)
+        db = b.dims[-axis] if axis <= len(b.dims) else dim_lit(1)
+        if da == db:
+            out.append(da)
+        elif da.size == 1:
+            out.append(db)
+        elif db.size == 1:
+            out.append(da)
+        elif da.known and db.known:
+            conflicts.append(
+                f"axis -{axis}: {da.render()} vs {db.render()}")
+            out.append(DIM_UNKNOWN)
+        else:
+            out.append(DIM_UNKNOWN)
+    return Shape(tuple(reversed(out))), conflicts
+
+
+# -------------------------------------------------------------- values
+
+@dataclass(frozen=True)
+class Value:
+    """The abstract element: a (dtype, shape) pair."""
+
+    dtype: DType = DTYPE_TOP
+    shape: Shape = SHAPE_UNKNOWN
+
+    @property
+    def is_array(self) -> bool:
+        """Known to have rank >= 1."""
+        return self.shape.dims is not None and len(self.shape.dims) >= 1
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape.dims is not None and len(self.shape.dims) == 0
+
+    def with_dtype(self, dtype: DType) -> "Value":
+        return Value(dtype=dtype, shape=self.shape)
+
+    def with_shape(self, shape: Shape) -> "Value":
+        return Value(dtype=self.dtype, shape=shape)
+
+    def render(self) -> str:
+        return f"{self.shape.render()} {self.dtype.name}"
+
+
+VALUE_UNKNOWN = Value()
+
+
+def join_value(a: Value, b: Value) -> Value:
+    """Pairwise lattice join."""
+    return Value(dtype=a.dtype.join(b.dtype), shape=a.shape.join(b.shape))
+
+
+def widen_value(old: Value, new: Value) -> Value:
+    """Pairwise widening for loop fixpoints."""
+    return Value(dtype=widen_dtype(old.dtype, new.dtype),
+                 shape=widen_shape(old.shape, new.shape))
+
+
+# ------------------------------------------------- layout declarations
+
+#: ``Layout: name (N, B) float64`` docstring lines; the dtype is
+#: optional, ``return`` declares the return contract.
+_LAYOUT_RE = re.compile(
+    r"^\s*Layout:\s*(?P<name>\w+)\s*"
+    r"\((?P<dims>[^)]*)\)\s*(?P<dtype>[\w.]+)?\s*$",
+    re.MULTILINE)
+
+
+def parse_layouts(docstring: str | None) -> dict[str, Value]:
+    """Extract declared layouts from a function docstring."""
+    if not docstring:
+        return {}
+    layouts: dict[str, Value] = {}
+    for match in _LAYOUT_RE.finditer(docstring):
+        dims: list[Dim] = []
+        text = match.group("dims").strip()
+        ok = True
+        if text:
+            for token in text.split(","):
+                token = token.strip()
+                if not token:
+                    continue
+                if token.isdigit():
+                    dims.append(dim_lit(int(token)))
+                elif token.isidentifier():
+                    dims.append(dim_sym(token))
+                else:
+                    ok = False
+                    break
+        if not ok:
+            continue
+        dtype = DTYPE_TOP
+        dtype_text = match.group("dtype")
+        if dtype_text:
+            dtype = dtype_named(dtype_text)
+        layouts[match.group("name")] = Value(dtype=dtype,
+                                             shape=Shape(tuple(dims)))
+    return layouts
+
+
+# --------------------------------------------------------- the issues
+
+@dataclass(frozen=True)
+class ShapeIssue:
+    """One interpreter observation a rule may turn into a finding."""
+
+    kind: str       #: ``upcast`` | ``broadcast`` | ``return-drift``
+    lineno: int
+    col: int
+    detail: str
+
+
+@dataclass
+class FunctionShapes:
+    """Interpretation result for one function."""
+
+    name: str
+    qualname: str           #: ``fn`` or ``Class.fn``
+    lineno: int
+    layouts: dict[str, Value] = field(default_factory=dict)
+    returns: list[Value] = field(default_factory=list)
+    issues: list[ShapeIssue] = field(default_factory=list)
+
+    @property
+    def return_value(self) -> Value:
+        """Join of every return site (unknown when none was inferable)."""
+        if not self.returns:
+            return VALUE_UNKNOWN
+        out = self.returns[0]
+        for value in self.returns[1:]:
+            out = join_value(out, value)
+        return out
+
+
+# ------------------------------------------------- dtype helper tables
+
+_SMALL_FLOATS = frozenset(("float16", "float32", "complex64"))
+_BIG_FLOATS = frozenset(("float64", "complex128"))
+
+#: abs()/.real/.imag of a complex dtype drops to its float half.
+_COMPLEX_TO_FLOAT = {"complex64": "float32", "complex128": "float64"}
+
+_ALLOCATORS = frozenset(("zeros", "ones", "empty", "full"))
+_LIKE_ALLOCATORS = frozenset(("zeros_like", "ones_like", "empty_like",
+                              "full_like"))
+_CASTERS = frozenset(("asarray", "array", "ascontiguousarray",
+                      "asfortranarray"))
+_REDUCERS = frozenset(("sum", "mean", "amin", "amax", "min", "max",
+                       "prod", "median", "std", "var"))
+_ELEMENTWISE = frozenset(("negative", "positive", "conj", "conjugate",
+                          "exp", "log", "sin", "cos", "tanh", "sign",
+                          "floor", "ceil", "round", "clip"))
+
+
+def _float_result(dtype: DType) -> DType:
+    """The dtype a true-division / sqrt-style op produces."""
+    if dtype.kind in ("b", "i"):
+        return dtype_named("float64")
+    return dtype
+
+
+def _scalar_array_dtype(scalar: DType, array: DType) -> DType:
+    """Numpy scalar-vs-array promotion: the array's width wins.
+
+    A python float scalar does not upcast a float32 array; a complex
+    scalar raises the *kind* but keeps the array's width class.
+    """
+    if not scalar.is_concrete or not array.is_concrete:
+        return DTYPE_TOP
+    kinds = "bifc"
+    if kinds.index(scalar.kind) <= kinds.index(array.kind):
+        return array
+    if scalar.kind == "f":
+        if array.name in ("float16", "float32"):
+            return array
+        return dtype_named("float64")
+    # complex scalar: raise the array's kind, keep its width class
+    if array.name in ("float16", "float32"):
+        return dtype_named("complex64")
+    return dtype_named("complex128")
+
+
+def _dtype_from_expr(node: ast.expr | None) -> DType:
+    """A dtype literal (``np.float32``, ``"uint8"``, ``float``)."""
+    if node is None:
+        return DTYPE_TOP
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return dtype_named(node.value)
+    name = dotted_name(node)
+    if name is not None:
+        return dtype_named(name)
+    return DTYPE_TOP
+
+
+# --------------------------------------------------- the interpreter
+
+class _Interpreter:
+    """One forward abstract-interpretation pass over a function body."""
+
+    def __init__(self, shapes: FunctionShapes,
+                 module: "ModuleShapes | None" = None) -> None:
+        self.shapes = shapes
+        self.module = module
+        self.env: dict[str, Value] = {}
+        #: scalar ints bound from ``a, b = x.shape`` unpacking.
+        self.dim_env: dict[str, Dim] = {}
+        self.issues: list[ShapeIssue] = shapes.issues
+
+    # ------------------------------------------------------ plumbing
+    def _issue(self, kind: str, node: ast.AST, detail: str) -> None:
+        entry = ShapeIssue(kind=kind,
+                           lineno=getattr(node, "lineno", 0),
+                           col=getattr(node, "col_offset", 0),
+                           detail=detail)
+        if entry not in self.issues:
+            self.issues.append(entry)
+
+    def _dim_of(self, node: ast.expr) -> Dim:
+        """A dimension-valued expression (reshape args, allocator dims)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            if node.value >= 0:
+                return dim_lit(node.value)
+            return DIM_UNKNOWN
+        if isinstance(node, ast.Name):
+            return self.dim_env.get(node.id, DIM_UNKNOWN)
+        return DIM_UNKNOWN
+
+    def _shape_from_arg(self, node: ast.expr) -> Shape:
+        """An allocator's shape argument: int, name, or tuple thereof."""
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return Shape(tuple(self._dim_of(e) for e in node.elts))
+        dim = self._dim_of(node)
+        return Shape((dim,))
+
+    # ------------------------------------------------------ execution
+    def run(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            declared = self.shapes.layouts.get(arg.arg)
+            if declared is not None:
+                self.env[arg.arg] = declared
+                continue
+            ann = arg.annotation
+            ann_name = dotted_name(ann) if ann is not None else None
+            if ann_name is not None:
+                leaf = ann_name.split(".")[-1]
+                if leaf in ("float", "int", "bool", "complex"):
+                    self.env[arg.arg] = Value(
+                        dtype=dtype_named(leaf), shape=SHAPE_SCALAR)
+        self._exec_block(node.body)
+
+    def _exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                synthetic = ast.BinOp(
+                    left=ast.copy_location(
+                        ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt),
+                    op=stmt.op, right=stmt.value)
+                ast.copy_location(synthetic, stmt)
+                ast.fix_missing_locations(synthetic)
+                self.env[stmt.target.id] = self.eval(synthetic)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.eval(stmt.value)
+                self.shapes.returns.append(value)
+                self._check_return(stmt, value)
+        elif isinstance(stmt, ast.If):
+            base = dict(self.env)
+            self._exec_block(stmt.body)
+            then_env = self.env
+            self.env = dict(base)
+            self._exec_block(stmt.orelse)
+            self._merge_env(then_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = VALUE_UNKNOWN
+            self._exec_loop(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._exec_loop(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+
+    def _exec_loop(self, body: list[ast.stmt]) -> None:
+        before = dict(self.env)
+        self._exec_block(body)
+        widened: dict[str, Value] = {}
+        for name, new in self.env.items():
+            old = before.get(name, new)
+            widened[name] = widen_value(old, new)
+        self.env = widened
+        self._exec_block(body)
+
+    def _merge_env(self, other: dict[str, Value]) -> None:
+        merged: dict[str, Value] = {}
+        for name in set(self.env) | set(other):
+            a = self.env.get(name, VALUE_UNKNOWN)
+            b = other.get(name, VALUE_UNKNOWN)
+            merged[name] = join_value(a, b)
+        self.env = merged
+
+    def _bind(self, target: ast.expr, value: Value,
+              source: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # ``batch, n = arr.shape`` binds symbolic dims by name so a
+            # later ``reshape(batch, ...)`` keeps the symbol.
+            dims: tuple[Dim, ...] | None = None
+            if isinstance(source, ast.Attribute) \
+                    and source.attr == "shape":
+                base = self.eval(source.value)
+                dims = base.shape.dims
+            for i, element in enumerate(target.elts):
+                if not isinstance(element, ast.Name):
+                    continue
+                if dims is not None and i < len(dims):
+                    self.dim_env[element.id] = dims[i]
+                    self.env[element.id] = Value(
+                        dtype=dtype_named("int64"), shape=SHAPE_SCALAR)
+                else:
+                    self.env[element.id] = VALUE_UNKNOWN
+
+    def _check_return(self, stmt: ast.Return, value: Value) -> None:
+        declared = self.shapes.layouts.get("return")
+        if declared is None:
+            return
+        if declared.dtype.is_concrete and value.dtype.is_concrete \
+                and declared.dtype != value.dtype:
+            self._issue(
+                "return-drift", stmt,
+                f"declared 'Layout: return ... {declared.dtype.name}' "
+                f"but this return is inferred {value.dtype.name}")
+
+    # ----------------------------------------------------- expressions
+    def eval(self, node: ast.expr) -> Value:
+        """Abstract value of an expression (never raises)."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, VALUE_UNKNOWN)
+        if isinstance(node, ast.Constant):
+            return self._eval_constant(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                return Value(dtype=dtype_named("bool"), shape=inner.shape)
+            return inner
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Compare):
+            # elementwise comparison keeps the broadcast shape
+            left = self.eval(node.left)
+            shape = left.shape
+            for comp in node.comparators:
+                right = self.eval(comp)
+                shape, conflicts = broadcast(shape, right.shape)
+                self._report_conflicts(node, left, right, conflicts)
+            return Value(dtype=dtype_named("bool"), shape=shape)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return join_value(self.eval(node.body),
+                              self.eval(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.eval(element)
+            return VALUE_UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            out = VALUE_UNKNOWN
+            for value_node in node.values:
+                out = join_value(out, self.eval(value_node))
+            return out
+        return VALUE_UNKNOWN
+
+    def _eval_constant(self, node: ast.Constant) -> Value:
+        value = node.value
+        if isinstance(value, bool):
+            return Value(dtype=dtype_named("bool"), shape=SHAPE_SCALAR)
+        if isinstance(value, int):
+            return Value(dtype=dtype_named("int64"), shape=SHAPE_SCALAR)
+        if isinstance(value, float):
+            return Value(dtype=dtype_named("float64"), shape=SHAPE_SCALAR)
+        if isinstance(value, complex):
+            return Value(dtype=dtype_named("complex128"),
+                         shape=SHAPE_SCALAR)
+        return VALUE_UNKNOWN
+
+    def _report_conflicts(self, node: ast.AST, left: Value, right: Value,
+                          conflicts: list[str]) -> None:
+        for conflict in conflicts:
+            self._issue(
+                "broadcast", node,
+                f"broadcast misaligns declared layouts "
+                f"{left.shape.render()} against {right.shape.render()} "
+                f"({conflict})")
+
+    def _combine(self, node: ast.AST, left: Value, right: Value,
+                 divide: bool = False) -> Value:
+        """Elementwise binary combination with upcast/broadcast checks."""
+        shape, conflicts = broadcast(left.shape, right.shape)
+        self._report_conflicts(node, left, right, conflicts)
+        a, b = left.dtype, right.dtype
+        if left.is_scalar and right.is_array:
+            dtype = _scalar_array_dtype(a, b)
+        elif right.is_scalar and left.is_array:
+            dtype = _scalar_array_dtype(b, a)
+        else:
+            dtype = a.join(b)
+            if left.is_array and right.is_array \
+                    and a.is_concrete and b.is_concrete:
+                small, big = (a, b) if a.leq(b) else (b, a)
+                if small.name in _SMALL_FLOATS \
+                        and big.name in _BIG_FLOATS:
+                    self._issue(
+                        "upcast", node,
+                        f"{small.name} operand silently upcasts to "
+                        f"{big.name} — pin one side's dtype so the "
+                        f"batched path keeps the scalar path's "
+                        f"precision")
+        if divide:
+            dtype = _float_result(dtype)
+        return Value(dtype=dtype, shape=shape)
+
+    def _eval_binop(self, node: ast.BinOp) -> Value:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul(left, right)
+        return self._combine(node, left, right,
+                             divide=isinstance(node.op, ast.Div))
+
+    def _matmul(self, left: Value, right: Value) -> Value:
+        dtype = left.dtype.join(right.dtype)
+        a, b = left.shape.dims, right.shape.dims
+        if a is not None and b is not None \
+                and len(a) >= 1 and len(b) >= 1:
+            if len(a) >= 2 and len(b) >= 2:
+                return Value(dtype=dtype,
+                             shape=Shape(a[:-1] + b[-1:]))
+            if len(a) >= 2 and len(b) == 1:
+                return Value(dtype=dtype, shape=Shape(a[:-1]))
+            if len(a) == 1 and len(b) >= 2:
+                return Value(dtype=dtype, shape=Shape(b[-1:]))
+            return Value(dtype=dtype, shape=SHAPE_SCALAR)
+        return Value(dtype=dtype, shape=SHAPE_UNKNOWN)
+
+    def _reduce(self, value: Value, axis_node: ast.expr | None,
+                float_result: bool = False) -> Value:
+        dtype = value.dtype
+        if float_result:
+            dtype = _float_result(dtype)
+        dims = value.shape.dims
+        if dims is None:
+            return Value(dtype=dtype, shape=SHAPE_UNKNOWN)
+        if axis_node is None:
+            return Value(dtype=dtype, shape=SHAPE_SCALAR)
+        if isinstance(axis_node, ast.Constant) \
+                and isinstance(axis_node.value, int) \
+                and not isinstance(axis_node.value, bool):
+            axis = axis_node.value
+            if -len(dims) <= axis < len(dims):
+                axis %= len(dims)
+                return Value(dtype=dtype, shape=Shape(
+                    dims[:axis] + dims[axis + 1:]))
+        return Value(dtype=dtype, shape=SHAPE_UNKNOWN)
+
+    def _keyword(self, node: ast.Call, name: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _eval_call(self, node: ast.Call) -> Value:
+        name = dotted_name(node.func)
+        # numpy-namespace intrinsics (np.zeros, np.mean, ...)
+        if name is not None and "." in name:
+            head = name.split(".", 1)[0]
+            if head in ("np", "numpy"):
+                return self._eval_numpy(node, name.split(".")[-1])
+        # module-local helper: propagate its inferred return dtype/rank
+        if name is not None and "." not in name \
+                and self.module is not None:
+            summary = self.module.summary_of(name)
+            if summary is not None:
+                for arg in node.args:
+                    self.eval(arg)
+                ret = summary.return_value
+                return Value(dtype=ret.dtype,
+                             shape=_strip_symbols(ret.shape))
+        # array methods (x.astype, x.reshape, x.sum, ...)
+        if isinstance(node.func, ast.Attribute):
+            return self._eval_method(node, node.func)
+        for arg in node.args:
+            self.eval(arg)
+        return VALUE_UNKNOWN
+
+    def _eval_numpy(self, node: ast.Call, leaf: str) -> Value:
+        args = node.args
+        if leaf in _ALLOCATORS:
+            dtype_slot = 2 if leaf == "full" else 1
+            dtype = _dtype_from_expr(self._keyword(node, "dtype"))
+            if not dtype.is_concrete and len(args) > dtype_slot:
+                dtype = _dtype_from_expr(args[dtype_slot])
+            if not dtype.is_concrete \
+                    and self._keyword(node, "dtype") is None \
+                    and len(args) <= dtype_slot:
+                dtype = dtype_named("float64")
+            shape = self._shape_from_arg(args[0]) if args \
+                else SHAPE_UNKNOWN
+            return Value(dtype=dtype, shape=shape)
+        if leaf in _LIKE_ALLOCATORS:
+            base = self.eval(args[0]) if args else VALUE_UNKNOWN
+            dtype = _dtype_from_expr(self._keyword(node, "dtype"))
+            if dtype.is_concrete:
+                return base.with_dtype(dtype)
+            return base
+        if leaf in _CASTERS:
+            base = self.eval(args[0]) if args else VALUE_UNKNOWN
+            dtype = _dtype_from_expr(self._keyword(node, "dtype"))
+            if not dtype.is_concrete and len(args) >= 2:
+                dtype = _dtype_from_expr(args[1])
+            if dtype.is_concrete:
+                return base.with_dtype(dtype)
+            return base
+        if leaf in _REDUCERS:
+            base = self.eval(args[0]) if args else VALUE_UNKNOWN
+            axis = self._keyword(node, "axis")
+            if axis is None and len(args) >= 2:
+                axis = args[1]
+            return self._reduce(base, axis,
+                                float_result=leaf in ("mean", "std",
+                                                      "var", "median"))
+        if leaf in ("abs", "absolute"):
+            base = self.eval(args[0]) if args else VALUE_UNKNOWN
+            mapped = _COMPLEX_TO_FLOAT.get(base.dtype.name)
+            if mapped is not None:
+                return base.with_dtype(dtype_named(mapped))
+            return base
+        if leaf == "sqrt":
+            base = self.eval(args[0]) if args else VALUE_UNKNOWN
+            return base.with_dtype(_float_result(base.dtype))
+        if leaf in ("maximum", "minimum"):
+            if len(args) >= 2:
+                return self._combine(node, self.eval(args[0]),
+                                     self.eval(args[1]))
+            return VALUE_UNKNOWN
+        if leaf == "where" and len(args) == 3:
+            self.eval(args[0])
+            return self._combine(node, self.eval(args[1]),
+                                 self.eval(args[2]))
+        if leaf == "arange":
+            dtype = _dtype_from_expr(self._keyword(node, "dtype"))
+            if not dtype.is_concrete:
+                has_float = any(
+                    isinstance(a, ast.Constant)
+                    and isinstance(a.value, float) for a in args)
+                dtype = dtype_named("float64" if has_float else "int64")
+            return Value(dtype=dtype, shape=Shape((DIM_UNKNOWN,)))
+        if leaf == "stack":
+            if args and isinstance(args[0], (ast.List, ast.Tuple)):
+                elements = [self.eval(e) for e in args[0].elts]
+                if elements:
+                    joined = elements[0]
+                    for element in elements[1:]:
+                        joined = join_value(joined, element)
+                    if joined.shape.dims is not None:
+                        return Value(
+                            dtype=joined.dtype,
+                            shape=Shape((dim_lit(len(elements)),)
+                                        + joined.shape.dims))
+                    return Value(dtype=joined.dtype,
+                                 shape=SHAPE_UNKNOWN)
+            return VALUE_UNKNOWN
+        if leaf in ("dot", "matmul") and len(args) >= 2:
+            return self._matmul(self.eval(args[0]), self.eval(args[1]))
+        if leaf == "reshape" and args:
+            base = self.eval(args[0])
+            if len(args) >= 2:
+                return base.with_shape(self._reshape_target(args[1:]))
+            return base.with_shape(SHAPE_UNKNOWN)
+        if leaf in ("ravel", "concatenate", "tile", "repeat"):
+            base = self.eval(args[0]) if args else VALUE_UNKNOWN
+            if leaf == "ravel":
+                return base.with_shape(Shape((DIM_UNKNOWN,)))
+            return base.with_shape(SHAPE_UNKNOWN)
+        if leaf in _ELEMENTWISE:
+            return self.eval(args[0]) if args else VALUE_UNKNOWN
+        for arg in args:
+            self.eval(arg)
+        return VALUE_UNKNOWN
+
+    def _reshape_target(self, args: list[ast.expr]) -> Shape:
+        if len(args) == 1 and isinstance(args[0], (ast.Tuple, ast.List)):
+            args = list(args[0].elts)
+        dims: list[Dim] = []
+        for arg in args:
+            if isinstance(arg, ast.Constant) \
+                    and isinstance(arg.value, int) \
+                    and not isinstance(arg.value, bool):
+                if arg.value == -1:
+                    dims.append(DIM_UNKNOWN)
+                else:
+                    dims.append(dim_lit(arg.value))
+            else:
+                dims.append(self._dim_of(arg))
+        return Shape(tuple(dims))
+
+    def _eval_method(self, node: ast.Call,
+                     func: ast.Attribute) -> Value:
+        base = self.eval(func.value)
+        method = func.attr
+        args = node.args
+        if method == "astype" and args:
+            return base.with_dtype(_dtype_from_expr(args[0]))
+        if method == "reshape":
+            return base.with_shape(self._reshape_target(list(args)))
+        if method in ("ravel", "flatten"):
+            return base.with_shape(Shape((DIM_UNKNOWN,)))
+        if method in ("copy", "conj", "conjugate", "clip", "round"):
+            return base
+        if method in _REDUCERS:
+            axis = self._keyword(node, "axis")
+            if axis is None and args:
+                axis = args[0]
+            return self._reduce(base, axis,
+                                float_result=method in ("mean", "std",
+                                                        "var"))
+        if method == "transpose":
+            if base.shape.dims is not None and not args:
+                return base.with_shape(
+                    Shape(tuple(reversed(base.shape.dims))))
+            return base.with_shape(SHAPE_UNKNOWN)
+        for arg in args:
+            self.eval(arg)
+        return VALUE_UNKNOWN
+
+    def _eval_attribute(self, node: ast.Attribute) -> Value:
+        if node.attr == "T":
+            base = self.eval(node.value)
+            if base.shape.dims is not None:
+                return base.with_shape(
+                    Shape(tuple(reversed(base.shape.dims))))
+            return base.with_shape(SHAPE_UNKNOWN)
+        if node.attr in ("real", "imag"):
+            base = self.eval(node.value)
+            mapped = _COMPLEX_TO_FLOAT.get(base.dtype.name)
+            if mapped is not None:
+                return base.with_dtype(dtype_named(mapped))
+            return base
+        if node.attr == "size":
+            return Value(dtype=dtype_named("int64"), shape=SHAPE_SCALAR)
+        return VALUE_UNKNOWN
+
+    def _eval_subscript(self, node: ast.Subscript) -> Value:
+        base = self.eval(node.value)
+        dims = base.shape.dims
+        if dims is None:
+            return base.with_shape(SHAPE_UNKNOWN)
+        index = node.slice
+        elements = list(index.elts) if isinstance(index, ast.Tuple) \
+            else [index]
+        out: list[Dim] = []
+        axis = 0
+        for element in elements:
+            if isinstance(element, ast.Constant) \
+                    and element.value is None:
+                out.append(dim_lit(1))
+                continue
+            if axis >= len(dims):
+                return base.with_shape(SHAPE_UNKNOWN)
+            if isinstance(element, ast.Slice):
+                if element.lower is None and element.upper is None \
+                        and element.step is None:
+                    out.append(dims[axis])
+                else:
+                    out.append(DIM_UNKNOWN)
+                axis += 1
+            elif isinstance(element, ast.Constant) \
+                    and isinstance(element.value, int) \
+                    and not isinstance(element.value, bool):
+                axis += 1          # integer index drops the axis
+            else:
+                return base.with_shape(SHAPE_UNKNOWN)
+        out.extend(dims[axis:])
+        return base.with_shape(Shape(tuple(out)))
+
+
+def _strip_symbols(shape: Shape) -> Shape:
+    """Drop a callee's local symbols when propagating its return shape:
+    the caller's ``N`` is not the callee's ``N``."""
+    if shape.dims is None:
+        return SHAPE_UNKNOWN
+    return Shape(tuple(d if d.size is not None else DIM_UNKNOWN
+                       for d in shape.dims))
+
+
+# ---------------------------------------------------- module analysis
+
+class ModuleShapes:
+    """Shape interpretation of every function in one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._defs: dict[str, tuple[
+            ast.FunctionDef | ast.AsyncFunctionDef, str]] = {}
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._defs[stmt.name] = (stmt, stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        qualname = f"{stmt.name}.{item.name}"
+                        self._defs[qualname] = (item, qualname)
+        self._summaries: dict[str, FunctionShapes] = {}
+        self._in_progress: set[str] = set()
+        for qualname in self._defs:
+            self.summary_of(qualname)
+
+    @property
+    def functions(self) -> dict[str, FunctionShapes]:
+        """Every interpreted function, keyed by (class-qualified) name."""
+        return self._summaries
+
+    def summary_of(self, qualname: str) -> FunctionShapes | None:
+        """The (memoised) interpretation of one function, by name.
+
+        Bare names also match a unique method (so a module-level call
+        to a local helper resolves).  Recursion yields unknown.
+        """
+        if qualname not in self._defs:
+            return None
+        if qualname in self._summaries:
+            return self._summaries[qualname]
+        if qualname in self._in_progress:
+            return None
+        node, _ = self._defs[qualname]
+        shapes = FunctionShapes(
+            name=qualname.rsplit(".", 1)[-1], qualname=qualname,
+            lineno=node.lineno,
+            layouts=parse_layouts(ast.get_docstring(node)))
+        self._in_progress.add(qualname)
+        try:
+            _Interpreter(shapes, module=self).run(node)
+        finally:
+            self._in_progress.discard(qualname)
+        self._summaries[qualname] = shapes
+        return shapes
+
+    def batch_twins(self) -> list[tuple[FunctionShapes, FunctionShapes]]:
+        """Every (scalar, ``_batch``) function pair of the module."""
+        pairs: list[tuple[FunctionShapes, FunctionShapes]] = []
+        for qualname, batch in sorted(self._summaries.items()):
+            if not qualname.endswith("_batch"):
+                continue
+            scalar = self._summaries.get(qualname[:-len("_batch")])
+            if scalar is not None:
+                pairs.append((scalar, batch))
+        return pairs
+
+
+def analyze_module(tree: ast.Module) -> ModuleShapes:
+    """Interpret every function of a parsed module."""
+    return ModuleShapes(tree)

@@ -14,15 +14,16 @@ failure-clustering TopN analysis (:mod:`repro.obs.topn`).
 from __future__ import annotations
 
 from repro.obs.context import AnyObsContext, Obs, ObsContext, OBS_NOOP
-from repro.obs.events import SCHEMA_VERSION, validate_event, \
-    validate_events
+from repro.obs.events import EventSpec, KNOWN_EVENTS, SCHEMA_VERSION, \
+    validate_event, validate_events
 from repro.obs.reporters import CounterReporter, JsonlReporter, \
     Reporter, ReporterError, RingReporter
 from repro.obs.topn import cluster_failures, load_events, \
     render_markdown, report_to_json
 
 __all__ = [
-    "AnyObsContext", "Obs", "ObsContext", "OBS_NOOP", "SCHEMA_VERSION",
+    "AnyObsContext", "Obs", "ObsContext", "OBS_NOOP", "EventSpec",
+    "KNOWN_EVENTS", "SCHEMA_VERSION",
     "validate_event", "validate_events", "CounterReporter",
     "JsonlReporter", "Reporter", "ReporterError", "RingReporter",
     "cluster_failures", "load_events", "render_markdown",

@@ -32,6 +32,7 @@ columnar-friendly.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 #: Version stamped into every event's ``v`` field.
@@ -68,12 +69,89 @@ OPTIONAL_FIELDS: dict[str, tuple[type, ...]] = {
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
 
-def validate_event(event: Mapping[str, Any]) -> list[str]:
+@dataclass(frozen=True)
+class EventSpec:
+    """The declared contract of one event name.
+
+    ``required`` lists fields every emission must carry (beyond the
+    envelope); ``fields`` declares event-specific extras with their
+    allowed types, beyond the well-known :data:`OPTIONAL_FIELDS`.
+    Counters implicitly carry ``value`` and spans ``duration_us`` —
+    the bus adds those, so specs do not repeat them.
+    """
+
+    name: str
+    kind: str
+    required: tuple[str, ...] = ()
+    fields: dict[str, tuple[type, ...]] = field(default_factory=dict)
+
+
+#: Every event name the system emits, with its declared contract.
+#: ``obs validate`` (and lint rule R012, statically) reject emissions
+#: that are not in this table — a typo'd name no longer passes
+#: silently.  New events are *declared here first*, then emitted.
+KNOWN_EVENTS: dict[str, EventSpec] = {spec.name: spec for spec in (
+    EventSpec("session.start", "event",
+              required=("fidelity", "executor"),
+              fields={"seed": (int,)}),
+    EventSpec("session.end", "event",
+              fields={"slots": (int,), "dcis_decoded": (int,),
+                      "dcis_dropped": (int,), "msg4_missed": (int,)}),
+    EventSpec("sync.acquired", "event", required=("slot",)),
+    EventSpec("stage.span", "span", required=("stage", "outcome")),
+    EventSpec("stage.drop", "counter", required=("stage", "reason")),
+    EventSpec("dci.miss", "event",
+              required=("slot", "rnti", "stage", "reason")),
+    EventSpec("dci.drop", "event",
+              required=("slot", "rnti", "stage", "reason")),
+    EventSpec("dci.decoded", "counter", required=("slot",)),
+    EventSpec("msg4.miss", "event",
+              required=("slot", "rnti", "stage", "reason")),
+    EventSpec("msg4.tracked", "event",
+              required=("slot", "rnti", "stage")),
+    EventSpec("nrsan.violation", "event",
+              required=("stage", "reason")),
+)}
+
+
+def _check_registry(event: Mapping[str, Any],
+                    registry: Mapping[str, EventSpec]) -> list[str]:
+    """Registry conformance of one envelope-valid event."""
+    problems: list[str] = []
+    spec = registry.get(event["name"])
+    if spec is None:
+        problems.append(f"unknown event name {event['name']!r} "
+                        f"(not declared in KNOWN_EVENTS)")
+        return problems
+    if event["kind"] != spec.kind:
+        problems.append(
+            f"event {spec.name!r} must have kind {spec.kind!r}, "
+            f"got {event['kind']!r}")
+    for name in spec.required:
+        if name not in event:
+            problems.append(
+                f"event {spec.name!r} missing required field {name!r}")
+    for name, allowed in spec.fields.items():
+        if name in event and (not isinstance(event[name], allowed)
+                              or isinstance(event[name], bool)):
+            names = "/".join(t.__name__ for t in allowed)
+            problems.append(
+                f"field {name!r} of {spec.name!r} must be {names}, "
+                f"got {type(event[name]).__name__}")
+    return problems
+
+
+def validate_event(event: Mapping[str, Any],
+                   registry: Mapping[str, EventSpec] | None = None) \
+        -> list[str]:
     """Check one event against the schema; returns problem strings.
 
     An empty list means the event is valid.  The check is tolerant of
     unknown fields (they only need to be JSON scalars) so a newer
-    writer's stream still validates under an older reader.
+    writer's stream still validates under an older reader.  With a
+    ``registry`` (normally :data:`KNOWN_EVENTS`), the event's name
+    must additionally be declared and its kind/required fields must
+    match the declaration.
     """
     problems: list[str] = []
     for field, expected in REQUIRED_FIELDS.items():
@@ -95,6 +173,8 @@ def validate_event(event: Mapping[str, Any]) -> list[str]:
             problems.append(f"negative seq {event['seq']!r}")
         if not event["name"]:
             problems.append("empty event name")
+        elif registry is not None:
+            problems.extend(_check_registry(event, registry))
     for field, value in event.items():
         if field in REQUIRED_FIELDS:
             continue
@@ -112,19 +192,21 @@ def validate_event(event: Mapping[str, Any]) -> list[str]:
     return problems
 
 
-def validate_events(events: Iterable[Mapping[str, Any]]) \
+def validate_events(events: Iterable[Mapping[str, Any]],
+                    registry: Mapping[str, EventSpec] | None = None) \
         -> list[tuple[int, str]]:
     """Validate a whole stream; returns ``(index, problem)`` pairs.
 
     Also enforces the cross-event contract: ``seq`` strictly increases
     (the bus assigns sequence numbers in commit order) and ``run_id``
-    is constant within one stream.
+    is constant within one stream.  ``registry`` is forwarded to
+    :func:`validate_event` for per-name conformance.
     """
     problems: list[tuple[int, str]] = []
     last_seq = -1
     run_id: str | None = None
     for index, event in enumerate(events):
-        for problem in validate_event(event):
+        for problem in validate_event(event, registry):
             problems.append((index, problem))
         seq = event.get("seq")
         if isinstance(seq, int) and not isinstance(seq, bool):

@@ -51,6 +51,8 @@ def crc_remainder(bits: np.ndarray | list[int], name: str) -> np.ndarray:
 
     Returns the ``L`` parity bits ``p_0..p_{L-1}`` (MSB first) that
     38.212 appends to the input block.
+
+    Layout: return (L) uint8
     """
     if name not in POLYNOMIALS:
         raise CrcError(f"unknown CRC: {name!r}")
@@ -99,6 +101,9 @@ def crc_remainder_batch(bits: np.ndarray, name: str) -> np.ndarray:
 
     One GF(2) matrix product replaces ``batch`` serial LFSR walks; the
     result is bit-identical to calling :func:`crc_remainder` per row.
+
+    Layout: bits (B, n) uint8
+    Layout: return (B, L) uint8
     """
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.ndim != 2:

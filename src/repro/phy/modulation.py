@@ -110,6 +110,9 @@ def demodulate_soft(symbols: np.ndarray, modulation: str | ModulationScheme,
     Uses the exact max-log approximation over the full constellation,
     which is fast enough at PDCCH scale (QPSK) and exercised by tests for
     the higher orders used on the PDSCH model.
+
+    Layout: symbols (S) complex128
+    Layout: return (E) float64
     """
     scheme = _scheme(modulation)
     qm = scheme.bits_per_symbol
@@ -139,6 +142,9 @@ def demodulate_soft_batch(symbols: np.ndarray,
     :func:`demodulate_soft` applied per row (flatten, demap once,
     reshape) — bit-identical, but one numpy dispatch for the whole
     candidate batch instead of one per candidate.
+
+    Layout: symbols (B, S) complex128
+    Layout: return (B, E) float64
     """
     scheme = _scheme(modulation)
     arr = np.asarray(symbols, dtype=np.complex128)

@@ -317,6 +317,9 @@ def gather_candidates_batch(grid: ResourceGrid, coreset: Coreset,
     level (as :meth:`SearchSpace.candidate_cces` always produces) and in
     range.  Returns a ``(len(starts), n_symbols)`` complex matrix whose
     rows equal the per-candidate :func:`_gather_candidate` reads.
+
+    Layout: starts (N) intp
+    Layout: return (N, S) complex128
     """
     matrix = _level_index_matrix(coreset, aggregation_level)
     starts_arr = np.asarray(starts, dtype=np.intp)
@@ -336,6 +339,9 @@ def candidate_energies_batch(values: np.ndarray) -> np.ndarray:
 
     Row-for-row identical to :func:`candidate_energy` on the same REs
     (numpy's pairwise row reduction matches the 1-D mean).
+
+    Layout: values (N, S) complex128
+    Layout: return (N) float64
     """
     if values.shape[0] == 0:
         return np.zeros(0, dtype=np.float64)

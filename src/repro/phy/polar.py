@@ -196,7 +196,11 @@ def _sc_decode(llrs: np.ndarray, frozen_mask: np.ndarray) -> np.ndarray:
 
 
 def decode(llrs: np.ndarray, code: PolarCode) -> np.ndarray:
-    """Decode ``E`` channel LLRs back into ``K`` info bits (hard output)."""
+    """Decode ``E`` channel LLRs back into ``K`` info bits (hard output).
+
+    Layout: llrs (E) float64
+    Layout: return (K) uint8
+    """
     arr = np.asarray(llrs, dtype=float).ravel()
     if arr.size != code.rate_matched_len:
         raise PolarError(
@@ -348,6 +352,10 @@ def _sc_decode_batch(llrs: np.ndarray, frozen_mask: np.ndarray,
     ``leaf_ok[row, i]``.  ``frozen_mask`` must then be the *joint* mask
     (frozen only where every row freezes), which keeps the plan's
     pruning exact for all rows — see :func:`decode_batch_joint`.
+
+    Layout: llrs (B, N) float64
+    Layout: leaf_ok (B, N) bool
+    Layout: return (B, N) uint8
     """
     batch, size = llrs.shape
     n = size.bit_length() - 1
@@ -441,6 +449,9 @@ def decode_batch(llrs: np.ndarray, code: PolarCode) -> np.ndarray:
     hot path, where every candidate at one (aggregation level, payload
     size) pair uses the same code.  Bit-identical to calling
     :func:`decode` per row (enforced by the equivalence tests).
+
+    Layout: llrs (B, E) float64
+    Layout: return (B, K) uint8
     """
     arr = np.asarray(llrs, dtype=float)
     if arr.ndim != 2:
@@ -479,6 +490,8 @@ def decode_batch_joint(llrs: np.ndarray, codes: tuple[PolarCode, ...]) \
     Returns one ``(B, K_i)`` matrix per code, in ``codes`` order.  All
     codes must share ``(N, E)``; DCI format pairs at one aggregation
     level always do.
+
+    Layout: llrs (B, E) float64
     """
     if not codes:
         return []

@@ -121,6 +121,8 @@ def descramble_llrs(llrs: np.ndarray, c_init: int) -> np.ndarray:
     Accepts a 1-D LLR vector or a stacked ``(B, E)`` matrix whose rows
     share one ``c_init`` (broadcast over the last axis) — the batched
     PDCCH path descrambles all candidates of one search space at once.
+
+    Layout: return (B, E) float64
     """
     arr = np.asarray(llrs, dtype=np.float64)
     return arr * descramble_signs(c_init, arr.shape[-1])

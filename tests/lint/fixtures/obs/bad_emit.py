@@ -1,0 +1,39 @@
+"""R012 fixture: one emission site per conformance violation.
+
+Each method of ``BadEmitter`` breaks exactly one registry rule —
+dynamic name, undeclared name, wrong kind, missing required field,
+undeclared field, dynamically built label value — plus a deferred
+``events.append`` entry with an unknown name.  The relay form (dynamic
+name with ``**fields``) appears once and must NOT be flagged.
+"""
+
+
+class BadEmitter:
+    def __init__(self, obs):
+        self._obs = obs
+        self.events = []
+
+    def dynamic_name(self, stage):
+        self._obs.emit(f"stage.{stage}", slot=1)
+
+    def unknown_name(self):
+        self._obs.emit("decode.wat", slot=1)
+
+    def wrong_kind(self):
+        self._obs.emit("dci.decoded", slot=1)
+
+    def missing_field(self):
+        self._obs.emit("dci.miss", slot=1)
+
+    def undeclared_field(self):
+        self._obs.emit("sync.acquired", slot=1, beam=3)
+
+    def label_bomb(self, slot):
+        self._obs.count("stage.drop", stage="decode",
+                        reason=f"slot-{slot}")
+
+    def deferred_unknown(self, slot):
+        self.events.append(("decode.nope", {"slot": slot}))
+
+    def relay(self, name, fields):
+        self._obs.emit(name, **fields)

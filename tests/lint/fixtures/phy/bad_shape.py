@@ -1,0 +1,41 @@
+"""R010/R011 fixture: every dtype/layout contract broken once.
+
+``scale_llrs`` meets a default-dtype float64 vector with declared
+float32 LLRs (silent upcast) and returns the widened result against a
+declared float32 contract (return drift).  ``weight_rows`` aligns a
+per-candidate ``(N,)`` vector against the ``B`` bit axis of a declared
+``(N, B)`` matrix (layout-misaligned broadcast).  ``pack_decisions`` /
+``pack_decisions_batch`` return different concrete dtypes (twin
+drift).
+"""
+
+import numpy as np
+
+
+def scale_llrs(llrs, gain):
+    """Scale a stacked LLR matrix.
+
+    Layout: llrs (B, E) float32
+    Layout: return (B, E) float32
+    """
+    weights = np.full(llrs.shape[1], gain)
+    return llrs * weights
+
+
+def weight_rows(llrs, scales):
+    """Apply per-candidate scales.
+
+    Layout: llrs (N, B) float64
+    Layout: scales (N) float64
+    """
+    return llrs * scales
+
+
+def pack_decisions(bits):
+    """Scalar twin: packs one decision vector."""
+    return np.asarray(bits, dtype=np.uint8)
+
+
+def pack_decisions_batch(bits):
+    """Batch twin that drifted to a wider dtype."""
+    return np.asarray(bits, dtype=np.uint16)

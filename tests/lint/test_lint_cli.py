@@ -20,7 +20,8 @@ class TestLintCli:
         assert lint_main([str(fixtures_dir)]) == 1
         out = capsys.readouterr().out
         for rule_id in ("R001", "R002", "R003", "R004",
-                        "R005", "R006", "R007", "R008"):
+                        "R005", "R006", "R007", "R008",
+                        "R009", "R010", "R011", "R012"):
             assert rule_id in out
 
     def test_single_rule_selection(self, fixtures_dir, capsys):
@@ -54,8 +55,31 @@ class TestLintCli:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("R001", "R002", "R003", "R004",
-                        "R005", "R006", "R007", "R008"):
+                        "R005", "R006", "R007", "R008",
+                        "R009", "R010", "R011", "R012"):
             assert rule_id in out
+
+    def test_sarif_format(self, fixtures_dir, capsys):
+        assert lint_main([str(fixtures_dir), "--format",
+                          "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "nrlint"
+        catalogue = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"R001", "R009", "R010", "R011", "R012"} <= catalogue
+        assert run["results"]
+        result = run["results"][0]
+        assert result["ruleId"] in catalogue
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_clean_tree_has_no_results(self, capsys):
+        assert lint_main([str(REPO_SRC), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
 
     def test_rule_crash_exits_two(self, fixtures_dir, capsys,
                                   monkeypatch):
@@ -128,6 +152,49 @@ class TestEffectsMode:
         assert "purity_frontier" in capsys.readouterr().out
 
 
+class TestContractsMode:
+    def test_contract_report_on_repo(self, capsys):
+        assert lint_main(["contracts", str(REPO_SRC)]) == 0
+        report = json.loads(capsys.readouterr().out)
+
+        wire = report["wire"]
+        assert wire["n_escapes"] == 0
+        assert wire["roots"]
+        assert all(r["clean"] for r in wire["roots"])
+        roles = {r["role"] for r in wire["roots"]}
+        assert roles == {"pack", "job"}
+
+        polar = report["shapes"]["phy/polar.py"]
+        assert any(t["scalar"] == "decode"
+                   and t["batch"] == "decode_batch"
+                   for t in polar["twins"])
+        decode_batch = polar["functions"]["decode_batch"]
+        assert decode_batch["layouts"]["llrs"] == "(B, E) float64"
+        assert not decode_batch["issues"]
+
+        obs = report["obs"]
+        assert obs["n_sites"] >= 15
+        assert obs["unknown_names"] == []
+        assert all(s["known"] for s in obs["sites"])
+        assert report["parse_failures"] == []
+
+    def test_contract_report_flags_fixture_contracts(self, fixtures_dir,
+                                                     capsys):
+        assert lint_main(["contracts", str(fixtures_dir)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["wire"]["n_escapes"] >= 5
+        reasons = {e["reason"] for r in report["wire"]["roots"]
+                   for f in r["fields"] for e in f["escapes"]}
+        assert {"tracked", "rng", "obs",
+                "unpicklable", "file"} <= reasons
+        assert "BadDecoder" in report["wire"]["unsafe_classes"]
+        assert "decode.wat" in report["obs"]["unknown_names"]
+
+    def test_contracts_via_repro_cli(self, capsys):
+        assert repro_main(["lint", "contracts", str(REPO_SRC)]) == 0
+        assert '"wire"' in capsys.readouterr().out
+
+
 class TestChangedMode:
     def _git(self, *argv, cwd):
         import subprocess
@@ -180,6 +247,30 @@ class TestChangedMode:
         assert lint_main(["--changed"]) == 0
         assert "nothing to lint" in capsys.readouterr().out
 
+    def test_changed_prune_keeps_whole_program_entries(self, repo,
+                                                       capsys):
+        """R009 runs against a *partial* program under --changed, so
+        its silence must never prune a grandfathered entry — even one
+        for the very file being scanned."""
+        baseline = repo / "lint-baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "R009", "path": "gnb/clean.py",
+                         "snippet": "x = tracked", "count": 1,
+                         "justification": "grandfathered"}]}))
+        target = repo / "src" / "repro" / "gnb" / "clean.py"
+        target.write_text("X = 1\n")
+        capsys.readouterr()
+
+        assert lint_main(["--changed", "HEAD"]) == 0
+        assert "orphaned" not in capsys.readouterr().err
+
+        assert lint_main(["--changed", "HEAD",
+                          "--prune-baseline"]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        rewritten = json.loads(baseline.read_text())
+        assert any(e["rule"] == "R009" for e in rewritten["entries"])
+
 
 class TestBaselineOrphans:
     def test_orphan_warning_and_prune(self, fixtures_dir, tmp_path,
@@ -225,6 +316,27 @@ class TestBaselineOrphans:
         assert lint_main([str(fixtures_dir), "--baseline", str(missing),
                           "--prune-baseline"]) == 2
         assert "existing baseline" in capsys.readouterr().err
+
+    def test_select_scan_cannot_orphan_other_rules(self, fixtures_dir,
+                                                   tmp_path, capsys):
+        """A --select run finds nothing for the unselected rules *by
+        construction*; their baseline entries must survive a prune."""
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(fixtures_dir), "--baseline", str(baseline),
+                          "--write-baseline"]) == 0
+        capsys.readouterr()
+
+        assert lint_main([str(fixtures_dir), "--select", "R001",
+                          "--baseline", str(baseline)]) == 0
+        assert "orphaned" not in capsys.readouterr().err
+
+        assert lint_main([str(fixtures_dir), "--select", "R001",
+                          "--baseline", str(baseline),
+                          "--prune-baseline"]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        rewritten = json.loads(baseline.read_text())
+        surviving = {e["rule"] for e in rewritten["entries"]}
+        assert {"R008", "R009", "R012"} <= surviving
 
 
 class TestReproCliIntegration:

@@ -731,3 +731,295 @@ class TestR008DtypeHygiene:
         """
         assert self.r008(lint(src, "radio/frontend.py"))
         assert not self.r008(lint(src, "analysis/metrics.py"))
+
+
+class TestR009WireEscape:
+    def r009(self, findings):
+        return [f for f in findings if f.rule_id == "R009"]
+
+    PREAMBLE = """
+        import threading
+
+        import numpy as np
+
+
+        class Stage:
+            def __init__(self, name, fn, pack=None, parallel=False):
+                self.name = name
+                self.fn = fn
+                self.pack = pack
+    """
+
+    def test_flags_every_payload_escape(self):
+        findings = self.r009(lint(self.PREAMBLE + """
+        def decode_job(grid):
+            return grid
+
+        class Pipeline:
+            def __init__(self, obs):
+                self.tracked = {}
+                self._rng = np.random.default_rng(0)
+                self._obs = obs
+                self.stage = Stage("d", None, pack=self._pack)
+
+            def _pack(self, ctx):
+                payload = {
+                    "tracked": ctx.tracked,
+                    "rng": self._rng,
+                    "obs": self._obs,
+                    "fn": lambda x: x,
+                    "log": open("x.log", "w"),
+                }
+                return decode_job, payload
+        """, "core/scope.py"))
+        reasons = " ".join(f.message for f in findings)
+        assert len(findings) == 5
+        assert "tracked-UE table" in reasons
+        assert "RNG state" in reasons
+        assert "observability handle" in reasons
+        assert "lambda" in reasons
+        assert "open file handle" in reasons
+
+    def test_flags_unsafe_instance_in_job_result(self):
+        findings = self.r009(lint(self.PREAMBLE + """
+        class Decoder:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        def decode_job(grid):
+            decoder = Decoder()
+            return decoder, 0
+
+        class Pipeline:
+            def __init__(self):
+                self.stage = Stage("d", None, pack=self._pack)
+
+            def _pack(self, ctx):
+                return decode_job, {"grid": ctx.grid}
+        """, "core/scope.py"))
+        assert len(findings) == 1
+        assert "Decoder" in findings[0].message
+        assert "lock" in findings[0].message
+
+    def test_sanctioned_projections_are_clean(self):
+        findings = self.r009(lint(self.PREAMBLE + """
+        def pack_tracked_for_decode(tracked):
+            return frozenset(tracked)
+
+        def decode_job(grid, tracked):
+            return len(tracked)
+
+        class Pipeline:
+            def __init__(self, obs):
+                self.tracked = {}
+                self._obs = obs
+                self.stage = Stage("d", None, pack=self._pack)
+
+            def _pack(self, ctx):
+                return decode_job, {
+                    "tracked": pack_tracked_for_decode(ctx.tracked),
+                    "snapshot": frozenset(ctx.tracked),
+                    "collect": bool(self._obs),
+                }
+        """, "core/scope.py"))
+        assert not findings
+
+    def test_not_applied_without_pack_root(self):
+        findings = self.r009(lint("""
+        def helper(tracked, rng, obs):
+            return tracked, rng, obs
+        """, "core/scope.py"))
+        assert not findings
+
+
+class TestR010DtypeDrift:
+    def r010(self, findings):
+        return [f for f in findings if f.rule_id == "R010"]
+
+    def test_flags_upcast_and_return_drift(self):
+        findings = self.r010(lint('''
+        import numpy as np
+
+        def scale(llrs):
+            """Scale.
+
+            Layout: llrs (B, E) float32
+            Layout: return (B, E) float32
+            """
+            weights = np.full(llrs.shape[1], 0.5)
+            return llrs * weights
+        ''', "phy/kernel.py"))
+        kinds = " ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "silently upcasts" in kinds
+        assert "declared 'Layout: return" in kinds
+
+    def test_flags_twin_return_drift(self):
+        findings = self.r010(lint("""
+        import numpy as np
+
+        def pack(bits):
+            return np.asarray(bits, dtype=np.uint8)
+
+        def pack_batch(bits):
+            return np.asarray(bits, dtype=np.uint16)
+        """, "phy/kernel.py"))
+        assert len(findings) == 1
+        assert "scalar twin" in findings[0].message
+
+    def test_matching_twins_are_clean(self):
+        findings = self.r010(lint("""
+        import numpy as np
+
+        def pack(bits):
+            return np.asarray(bits, dtype=np.uint8)
+
+        def pack_batch(bits):
+            return np.asarray(bits, dtype=np.uint8)
+        """, "phy/kernel.py"))
+        assert not findings
+
+    def test_only_hot_paths_are_checked(self):
+        src = '''
+        import numpy as np
+
+        def scale(llrs):
+            """Layout: llrs (B, E) float32"""
+            return llrs * np.full(3, 0.5)
+        '''
+        assert self.r010(lint(src, "core/dci_decoder.py"))
+        assert not self.r010(lint(src, "analysis/metrics.py"))
+
+
+class TestR011Layout:
+    def r011(self, findings):
+        return [f for f in findings if f.rule_id == "R011"]
+
+    def test_flags_symbol_misaligned_broadcast(self):
+        findings = self.r011(lint('''
+        def weight(llrs, scales):
+            """Weight.
+
+            Layout: llrs (N, B) float64
+            Layout: scales (N) float64
+            """
+            return llrs * scales
+        ''', "phy/kernel.py"))
+        assert len(findings) == 1
+        assert "N == B" in findings[0].message
+
+    def test_aligned_broadcast_is_clean(self):
+        findings = self.r011(lint('''
+        def weight(llrs, scales):
+            """Weight.
+
+            Layout: llrs (N, B) float64
+            Layout: scales (B) float64
+            """
+            return llrs * scales
+        ''', "phy/kernel.py"))
+        assert not findings
+
+    def test_reshaped_vector_is_clean(self):
+        findings = self.r011(lint('''
+        def weight(llrs, scales):
+            """Weight.
+
+            Layout: llrs (N, B) float64
+            Layout: scales (N) float64
+            """
+            return llrs * scales[:, None]
+        ''', "phy/kernel.py"))
+        assert not findings
+
+
+class TestR012ObsConformance:
+    def r012(self, findings):
+        return [f for f in findings if f.rule_id == "R012"]
+
+    def lint_obs(self, body):
+        return self.r012(lint(body, "core/runtime.py"))
+
+    def test_flags_dynamic_name(self):
+        findings = self.lint_obs("""
+            def run(self, stage):
+                self._obs.emit(f"stage.{stage}", slot=1)
+        """)
+        assert len(findings) == 1
+        assert "built at runtime" in findings[0].message
+
+    def test_flags_unknown_name(self):
+        findings = self.lint_obs("""
+            def run(self):
+                self._obs.emit("decode.wat", slot=1)
+        """)
+        assert len(findings) == 1
+        assert "not declared in KNOWN_EVENTS" in findings[0].message
+
+    def test_flags_kind_mismatch(self):
+        findings = self.lint_obs("""
+            def run(self):
+                self._obs.emit("dci.decoded", slot=1)
+        """)
+        assert len(findings) == 1
+        assert "declared kind 'counter'" in findings[0].message
+
+    def test_flags_missing_required_field(self):
+        findings = self.lint_obs("""
+            def run(self):
+                self._obs.count("stage.drop", stage="decode")
+        """)
+        assert len(findings) == 1
+        assert "requires field 'reason'" in findings[0].message
+
+    def test_flags_undeclared_field(self):
+        findings = self.lint_obs("""
+            def run(self):
+                self._obs.emit("sync.acquired", slot=1, beam=3)
+        """)
+        assert len(findings) == 1
+        assert "field 'beam'" in findings[0].message
+
+    def test_flags_dynamic_label_value(self):
+        findings = self.lint_obs("""
+            def run(self, slot):
+                self._obs.count("stage.drop", stage="decode",
+                                reason=f"slot-{slot}")
+        """)
+        assert len(findings) == 1
+        assert "cardinality" in findings[0].message
+
+    def test_flags_deferred_queue_entry(self):
+        findings = self.lint_obs("""
+            def run(self, slot):
+                self.events.append(("decode.nope", {"slot": slot}))
+        """)
+        assert len(findings) == 1
+        assert "decode.nope" in findings[0].message
+
+    def test_relay_is_exempt(self):
+        findings = self.lint_obs("""
+            def run(self, name, fields):
+                self._obs.emit(name, **fields)
+        """)
+        assert not findings
+
+    def test_conforming_sites_are_clean(self):
+        findings = self.lint_obs("""
+            def run(self, slot, duration_s):
+                self._obs.emit("sync.acquired", slot=slot)
+                self._obs.count("dci.decoded", slot=slot)
+                self._obs.timing("stage.span", duration_s,
+                                 stage="decode", outcome="ok")
+                self.events.append(("msg4.tracked",
+                                    {"slot": slot, "rnti": 1,
+                                     "stage": "msg4"}))
+        """)
+        assert not findings
+
+    def test_non_obs_receiver_is_ignored(self):
+        findings = self.lint_obs("""
+            def run(self, queue):
+                queue.emit("decode.wat", slot=1)
+        """)
+        assert not findings

@@ -1,0 +1,164 @@
+"""Property tests for the dtype/shape lattice behind R010/R011.
+
+The abstract interpreter is only sound if its lattice operations are:
+``join`` must be a commutative, associative, idempotent least upper
+bound consistent with ``leq``, and ``widen`` must sit above ``join``
+(so loop iteration terminates at a post-fixpoint) and be monotone in
+its second argument.  Hypothesis explores the full element space —
+every chain dtype plus TOP/BOTTOM, and shapes mixing literal,
+symbolic and unknown dims.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.shapes import (
+    DTYPE_CHAIN,
+    DIM_UNKNOWN,
+    DType,
+    Shape,
+    Value,
+    broadcast,
+    dim_lit,
+    dim_sym,
+    dtype_named,
+    join_value,
+    parse_layouts,
+    widen_dtype,
+    widen_shape,
+    widen_value,
+)
+
+dtypes = st.integers(min_value=-1, max_value=len(DTYPE_CHAIN)) \
+    .map(DType)
+
+dims = st.one_of(
+    st.just(DIM_UNKNOWN),
+    st.integers(min_value=0, max_value=4).map(dim_lit),
+    st.sampled_from("NBEKLS").map(dim_sym),
+)
+
+shapes = st.one_of(
+    st.just(Shape()),
+    st.lists(dims, min_size=0, max_size=3).map(
+        lambda ds: Shape(tuple(ds))),
+)
+
+values = st.builds(Value, dtype=dtypes, shape=shapes)
+
+
+class TestDtypeLattice:
+    @given(dtypes, dtypes)
+    def test_join_commutes(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(dtypes, dtypes, dtypes)
+    def test_join_associates(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(dtypes)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(dtypes, dtypes)
+    def test_join_is_upper_bound(self, a, b):
+        assert a.leq(a.join(b))
+        assert b.leq(a.join(b))
+
+    @given(dtypes, dtypes)
+    def test_leq_join_consistency(self, a, b):
+        assert a.leq(b) == (a.join(b) == b)
+
+    @given(dtypes, dtypes)
+    def test_meet_is_lower_bound(self, a, b):
+        assert a.meet(b).leq(a)
+        assert a.meet(b).leq(b)
+
+    @given(dtypes, dtypes)
+    def test_widen_bounds_join(self, old, new):
+        assert old.join(new).leq(widen_dtype(old, new))
+
+    @given(dtypes, dtypes, dtypes)
+    def test_widen_monotone_in_new(self, old, a, b):
+        if a.leq(b):
+            assert widen_dtype(old, a).leq(widen_dtype(old, b))
+
+    @given(dtypes, dtypes)
+    def test_widen_stabilises(self, old, new):
+        once = widen_dtype(old, new)
+        assert widen_dtype(once, new) == once
+
+
+class TestShapeLattice:
+    @given(shapes, shapes)
+    def test_join_commutes(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(shapes, shapes, shapes)
+    def test_join_associates(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(shapes)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(shapes, shapes)
+    def test_widen_stabilises(self, old, new):
+        once = widen_shape(old, new)
+        assert widen_shape(once, new) == once
+
+    @given(shapes, shapes)
+    def test_broadcast_commutes(self, a, b):
+        shape_ab, conflicts_ab = broadcast(a, b)
+        shape_ba, conflicts_ba = broadcast(b, a)
+        assert shape_ab == shape_ba
+        assert bool(conflicts_ab) == bool(conflicts_ba)
+
+    @given(shapes)
+    def test_broadcast_with_scalar_is_identity(self, a):
+        shape, conflicts = broadcast(a, Shape(()))
+        assert shape == a
+        assert not conflicts
+
+
+class TestValueLattice:
+    @given(values, values)
+    def test_join_commutes(self, a, b):
+        assert join_value(a, b) == join_value(b, a)
+
+    @given(values, values, values)
+    def test_join_associates(self, a, b, c):
+        assert join_value(join_value(a, b), c) \
+            == join_value(a, join_value(b, c))
+
+    @given(values, values)
+    def test_widen_stabilises(self, old, new):
+        once = widen_value(old, new)
+        assert widen_value(once, new) == once
+
+
+class TestParseLayouts:
+    def test_parses_dims_and_dtype(self):
+        layouts = parse_layouts("""Decode.
+
+        Layout: llrs (B, E) float64
+        Layout: return (B, K) uint8
+        """)
+        assert layouts["llrs"].dtype == dtype_named("float64")
+        assert layouts["llrs"].shape == Shape((dim_sym("B"),
+                                               dim_sym("E")))
+        assert layouts["return"].dtype == dtype_named("uint8")
+
+    def test_dtype_is_optional(self):
+        layouts = parse_layouts("Layout: starts (N)")
+        assert layouts["starts"].shape == Shape((dim_sym("N"),))
+        assert not layouts["starts"].dtype.is_concrete
+
+    def test_aliases_normalise(self):
+        layouts = parse_layouts("Layout: starts (N) intp")
+        assert layouts["starts"].dtype == dtype_named("int64")
+
+    def test_ignores_malformed_lines(self):
+        assert not parse_layouts("Layout: x (N*2) float64")
+        assert not parse_layouts("no layouts here")
+        assert not parse_layouts(None)
