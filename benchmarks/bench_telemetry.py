@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Standalone runner for the columnar-telemetry bench.
+
+Equivalent to ``python -m repro.cli bench telemetry``; kept here so the
+benchmarks/ directory is the one place to look for perf entry points.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py [--quick]
+        [--out BENCH_telemetry.json] [--records N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    parser.add_argument("--records", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    from repro.experiments import bench_telemetry
+    doc = bench_telemetry.main(out_path=args.out, quick=args.quick,
+                               n_records=args.records)
+    print(bench_telemetry.render(doc))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,13 @@ Mirrors how the released NR-Scope tool is driven from a terminal:
 * ``cells``    - list the built-in cell profiles (section 5.1 testbeds).
 * ``figure``   - regenerate one paper figure's table on stdout.
 * ``survey``   - commercial-cell population survey (sections 5.3.1/6).
+* ``fleet``    - supervised multi-cell run with come-and-go UEs and
+  periodic checkpoints; ``--resume`` continues a killed run from its
+  checkpoint file with telemetry identical to an uninterrupted run.
 * ``bench``    - repeatable perf benchmarks (``bench fig12`` writes
-  ``BENCH_fig12.json``, the executor x batch-kernel sweep).
+  ``BENCH_fig12.json``, the executor x batch-kernel sweep;
+  ``bench telemetry`` writes ``BENCH_telemetry.json``, the columnar
+  store vs per-record baseline).
 * ``obs``      - observability-stream tooling: ``obs topn`` clusters a
   session's failure events, ``obs validate`` checks a stream against
   the event schema.
@@ -71,7 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SPEC",
                        help="enable the observability bus with a "
                             "reporter: jsonl:PATH | counters | "
-                            "ring[:N] (repeatable)")
+                            "ring[:N] | tail[:stdout] (repeatable)")
 
     sub.add_parser("cells", help="list built-in cell profiles")
 
@@ -105,18 +110,60 @@ def _build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--seconds", type=float, default=600.0)
     survey.add_argument("--seed", type=int, default=0)
 
+    fleet = sub.add_parser("fleet",
+                           help="supervised multi-cell fleet run "
+                                "with periodic checkpoints")
+    fleet.add_argument("--cells", type=int, default=2)
+    fleet.add_argument("--profile", default="srsran",
+                       choices=sorted(ALL_PROFILES))
+    fleet.add_argument("--seconds", type=float, default=3.0)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--snr-db", type=float, default=18.0,
+                       help="sniffer receive SNR per cell")
+    fleet.add_argument("--arrivals", type=float, default=2.0,
+                       help="UE arrivals per second per cell")
+    fleet.add_argument("--holding-p90", type=float, default=6.0,
+                       help="90th-percentile session holding time")
+    fleet.add_argument("--horizon", type=float, default=None,
+                       help="population horizon (default: --seconds)")
+    fleet.add_argument("--interval", type=float, default=1.0,
+                       help="checkpoint interval, simulated seconds")
+    fleet.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="checkpoint file (written atomically "
+                            "after each interval)")
+    fleet.add_argument("--resume", action="store_true",
+                       help="restore the fleet from --checkpoint "
+                            "before running")
+    fleet.add_argument("--fidelity", default="message",
+                       choices=["message", "iq"])
+    fleet.add_argument("--executor", default="inline",
+                       help="slot runtime executor: "
+                            "inline | threaded[:N] | process[:N]")
+    fleet.add_argument("--workers", type=int, default=4)
+    fleet.add_argument("--json-dir", metavar="DIR", default=None,
+                       help="write each cell's telemetry as "
+                            "DIR/<cell>.jsonl")
+    fleet.add_argument("--segments-dir", metavar="DIR", default=None,
+                       help="write each cell's columnar segments "
+                            "under DIR/<cell>/")
+    fleet.add_argument("--obs", action="append", default=[],
+                       metavar="SPEC",
+                       help="enable the observability bus: jsonl:PATH "
+                            "| counters | ring[:N] | tail[:stdout] "
+                            "(repeatable)")
+
     bench = sub.add_parser("bench",
                            help="run a repeatable perf benchmark")
-    bench.add_argument("name", choices=["fig12"])
+    bench.add_argument("name", choices=["fig12", "telemetry"])
     bench.add_argument("--quick", action="store_true",
                        help="tiny sweep (CI smoke; not a real "
                             "measurement)")
-    bench.add_argument("--out", metavar="PATH",
-                       default="BENCH_fig12.json",
-                       help="output JSON document path")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="output JSON document path (default "
+                            "BENCH_<name>.json)")
     bench.add_argument("--slots", type=int, default=None,
                        help="timed slots per point (default 20, "
-                            "quick 2)")
+                            "quick 2; fig12 only)")
 
     from repro.lint.cli import add_arguments as add_lint_arguments
     lint = sub.add_parser("lint",
@@ -271,14 +318,96 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.fleet import FleetConfig, FleetError, FleetSupervisor
+    from repro.obs import CounterReporter, ObsContext, ReporterError, \
+        reporters_from_specs
+
+    try:
+        reporters = reporters_from_specs(args.obs)
+    except ReporterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs = ObsContext.create(reporters, run_id=f"fleet-{args.seed:08x}") \
+        if reporters else None
+
+    try:
+        if args.resume:
+            if not args.checkpoint:
+                raise FleetError("--resume needs --checkpoint PATH")
+            supervisor = FleetSupervisor.restore(args.checkpoint, obs=obs)
+            print(f"resumed {len(supervisor.controller.cells)} cells "
+                  f"at t={supervisor.now_s:.3f} s "
+                  f"from {args.checkpoint}")
+        else:
+            config = FleetConfig(
+                n_cells=args.cells, profile=args.profile,
+                seed=args.seed, snr_db=args.snr_db,
+                arrivals_per_second=args.arrivals,
+                holding_p90_s=args.holding_p90,
+                horizon_s=args.horizon if args.horizon is not None
+                else args.seconds,
+                fidelity=args.fidelity,
+                checkpoint_interval_s=args.interval,
+                executor=args.executor, n_workers=args.workers)
+            supervisor = FleetSupervisor.build(config, obs=obs)
+        supervisor.run(args.seconds, checkpoint_path=args.checkpoint)
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    controller = supervisor.controller
+    now = supervisor.now_s
+    print(f"fleet of {len(controller.cells)} cells at t={now:.3f} s")
+    for name in controller.cells:
+        stream = controller.stream(name)
+        scope = stream.scope
+        print(f"  {name}: {scope.counters.dcis_decoded} DCIs, "
+              f"{scope.counters.msg4_seen} UEs via RACH "
+              f"({scope.counters.msg4_missed} missed), "
+              f"{len(scope.tracked_rntis)} tracked, "
+              f"{len(scope.telemetry)} telemetry rows")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint}")
+    if args.json_dir:
+        base = Path(args.json_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        for name in controller.cells:
+            scope = controller.stream(name).scope
+            count = scope.telemetry.write_jsonl(base / f"{name}.jsonl")
+            print(f"wrote {count} records to {base / (name + '.jsonl')}")
+    if args.segments_dir:
+        written = supervisor.write_segments(args.segments_dir)
+        for name, rows in sorted(written.items()):
+            print(f"wrote {rows} rows of columnar segments to "
+                  f"{Path(args.segments_dir) / name}")
+    counter_rep = next((r for r in reporters
+                        if isinstance(r, CounterReporter)), None)
+    if counter_rep is not None:
+        print()
+        print(counter_rep.render_text(), end="")
+    if obs is not None:
+        obs.close()
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    if args.name != "fig12":  # pragma: no cover - argparse restricts
+    if args.name == "fig12":
+        from repro.experiments import bench_fig12
+        out = args.out or "BENCH_fig12.json"
+        doc = bench_fig12.main(out_path=out, quick=args.quick,
+                               n_slots=args.slots)
+        print(bench_fig12.render(doc))
+    elif args.name == "telemetry":
+        from repro.experiments import bench_telemetry
+        out = args.out or "BENCH_telemetry.json"
+        doc = bench_telemetry.main(out_path=out, quick=args.quick)
+        print(bench_telemetry.render(doc))
+    else:  # pragma: no cover - argparse restricts choices
         raise CliError(f"unknown bench: {args.name}")
-    from repro.experiments import bench_fig12
-    doc = bench_fig12.main(out_path=args.out, quick=args.quick,
-                           n_slots=args.slots)
-    print(bench_fig12.render(doc))
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -336,7 +465,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 _COMMANDS = {"sniff": cmd_sniff, "cells": cmd_cells,
              "figure": cmd_figure, "survey": cmd_survey,
-             "bench": cmd_bench, "obs": cmd_obs, "lint": cmd_lint}
+             "fleet": cmd_fleet, "bench": cmd_bench, "obs": cmd_obs,
+             "lint": cmd_lint}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -151,6 +151,23 @@ class RecordDciDecoder:
             results.append((record, ok))
         return results
 
+    def checkpoint_state(self) -> dict:
+        """Picklable snapshot (the lock is rebuilt on restore)."""
+        return {"sniffer_snr_db": self.sniffer_snr_db,
+                "seed": self.seed,
+                "rng_state": self._rng.bit_generator.state,
+                "attempts": self.attempts, "misses": self.misses}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RecordDciDecoder":
+        """Rebuild a decoder mid-stream from :meth:`checkpoint_state`."""
+        decoder = cls(sniffer_snr_db=state["sniffer_snr_db"],
+                      seed=state["seed"])
+        decoder._rng.bit_generator.state = state["rng_state"]
+        decoder.attempts = state["attempts"]
+        decoder.misses = state["misses"]
+        return decoder
+
 
 class GridDciDecoder:
     """IQ-fidelity backend: real polar decodes over a captured grid.
@@ -488,6 +505,25 @@ class GridDciDecoder:
                 decoded.append(DecodedDci(dci=dci, aggregation_level=level,
                                           from_common_space=True))
         return decoded
+
+    def checkpoint_state(self) -> dict:
+        """Picklable snapshot (the lock is rebuilt on restore)."""
+        return {"dci_cfg": self.dci_cfg, "n_id": self.n_id,
+                "noise_var": self.noise_var,
+                "use_energy_gate": self.use_energy_gate,
+                "use_cce_claiming": self.use_cce_claiming,
+                "equalize": self.equalize, "attempts": self.attempts}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GridDciDecoder":
+        """Rebuild a decoder mid-stream from :meth:`checkpoint_state`."""
+        decoder = cls(dci_cfg=state["dci_cfg"], n_id=state["n_id"],
+                      noise_var=state["noise_var"],
+                      use_energy_gate=state["use_energy_gate"],
+                      use_cce_claiming=state["use_cce_claiming"],
+                      equalize=state["equalize"])
+        decoder.attempts = state["attempts"]
+        return decoder
 
 
 # ---------------------------------------------------- process-pool jobs

@@ -57,12 +57,17 @@ class RanFingerprint:
 
 def fingerprint_session(telemetry: TelemetryLog,
                         min_dcis: int = 50) -> RanFingerprint:
-    """Condense a telemetry log into a :class:`RanFingerprint`."""
-    records = [r for r in telemetry.records if r.downlink]
-    if len(records) < min_dcis:
+    """Condense a telemetry log into a :class:`RanFingerprint`.
+
+    One vectorized pass over the columnar store — no per-record Python
+    objects are materialised.
+    """
+    table = telemetry.store.table()
+    dl = table[table["downlink"] == 1]
+    if len(dl) < min_dcis:
         raise FingerprintError(
-            f"need >= {min_dcis} downlink DCIs, have {len(records)}")
-    new_data = [r for r in records if not r.is_retransmission]
+            f"need >= {min_dcis} downlink DCIs, have {len(dl)}")
+    new_data = dl[dl["is_retransmission"] == 0]
 
     def distribution(values) -> dict:
         unique, counts = np.unique(np.asarray(values), return_counts=True)
@@ -73,30 +78,33 @@ def fingerprint_session(telemetry: TelemetryLog,
     # row from the symbol count (unique within the shared table's rows
     # used by the scheduler: 4, 7 and 12 symbols).
     symbol_rows = {4: 7, 7: 5, 12: 1, 14: 0}
-    tdra = [symbol_rows.get(r.n_symbols, 15) for r in new_data]
+    symbols = new_data["n_symbols"]
+    tdra = np.full(len(new_data), 15, dtype=np.int64)
+    for n_symbols, row in symbol_rows.items():
+        tdra[symbols == n_symbols] = row
 
-    per_ue_bits: dict[int, int] = {}
-    for record in new_data:
-        per_ue_bits[record.rnti] = per_ue_bits.get(record.rnti, 0) \
-            + record.tbs_bits
-    shares = np.array(list(per_ue_bits.values()), dtype=float)
+    # Per-UE new-data bit shares, grouped in one bincount; ordered by
+    # first appearance like the seed's insertion-ordered dict.
+    rntis, first_row, inverse = np.unique(
+        new_data["rnti"], return_index=True, return_inverse=True)
+    sums = np.bincount(inverse, weights=new_data["tbs_bits"])
+    shares = sums[np.argsort(first_row, kind="stable")]
     share_cv = float(shares.std() / shares.mean()) if shares.size > 1 \
         else 0.0
 
-    grant_sizes = np.array([r.n_prb for r in new_data], dtype=float)
+    grant_sizes = new_data["n_prb"].astype(float)
     return RanFingerprint(
-        n_dcis=len(records),
-        n_ues=len(per_ue_bits),
-        mcs_mean=float(np.mean([r.mcs_index for r in new_data])),
+        n_dcis=len(dl),
+        n_ues=len(rntis),
+        mcs_mean=float(np.mean(new_data["mcs_index"])),
         tdra_distribution=distribution(tdra),
-        aggregation_distribution=distribution(
-            [r.aggregation_level for r in records]),
+        aggregation_distribution=distribution(dl["aggregation_level"]),
         mean_grant_prbs=float(grant_sizes.mean()),
         grant_size_cv=float(grant_sizes.std()
                             / max(grant_sizes.mean(), 1e-9)),
         service_share_cv=share_cv,
         retransmission_ratio=float(
-            np.mean([r.is_retransmission for r in records])))
+            np.mean(dl["is_retransmission"] != 0)))
 
 
 def fingerprint_distance(a: RanFingerprint, b: RanFingerprint) -> float:
@@ -142,16 +150,16 @@ def classify_scheduler(per_slot_interleaving: list[int]) -> str:
 def interleaving_runs(telemetry: TelemetryLog,
                       max_samples: int = 500) -> list[int]:
     """Distinct-UEs-before-repeat run lengths from the DL DCI stream."""
-    records = [r for r in telemetry.records
-               if r.downlink and not r.is_retransmission]
+    table = telemetry.store.table()
+    mask = (table["downlink"] == 1) & (table["is_retransmission"] == 0)
     runs: list[int] = []
     seen: set[int] = set()
-    for record in records:
-        if record.rnti in seen:
+    for rnti in table["rnti"][mask].tolist():
+        if rnti in seen:
             runs.append(len(seen))
-            seen = {record.rnti}
+            seen = {rnti}
         else:
-            seen.add(record.rnti)
+            seen.add(rnti)
         if len(runs) >= max_samples:
             break
     return runs
@@ -167,8 +175,9 @@ def anomaly_score(telemetry: TelemetryLog, duration_s: float,
     """
     if duration_s <= 0:
         raise FingerprintError("duration must be positive")
-    total_bits = sum(r.tbs_bits for r in telemetry.records
-                     if r.downlink and not r.is_retransmission)
+    table = telemetry.store.table()
+    mask = (table["downlink"] == 1) & (table["is_retransmission"] == 0)
+    total_bits = int(table["tbs_bits"][mask].sum())
     attach_rate = msg4_count / duration_s
     if msg4_count == 0:
         return 0.0

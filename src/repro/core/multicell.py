@@ -146,6 +146,20 @@ class MultiCellController:
         return {name: stream.scope.runtime_stats
                 for name, stream in sorted(self._streams.items())}
 
+    def fleet_state(self) -> dict:
+        """Controller-level checkpoint payload (clock + UE-id cursor).
+
+        Per-cell state travels separately (see
+        :class:`~repro.core.fleet.FleetSupervisor`); this covers only
+        what the controller itself owns.
+        """
+        return {"now_s": self.now_s, "next_ue_id": self._next_ue_id}
+
+    def restore_fleet_state(self, state: dict) -> None:
+        """Adopt a :meth:`fleet_state` snapshot."""
+        self.now_s = state["now_s"]
+        self._next_ue_id = state["next_ue_id"]
+
     def attach_device(self, cell: str, traffic: str = "bulk",
                       channel: str = "pedestrian",
                       mean_snr_db: float = 20.0,
@@ -229,11 +243,12 @@ def detect_handovers(streams: list[CellStream],
     arrivals = []     # (time, cell, rnti)
     for stream in streams:
         end_s = stream.sim.now_s
+        store = stream.scope.telemetry.store
         for rnti in stream.scope.telemetry.rntis():
-            records = stream.scope.telemetry.for_rnti(rnti)
-            if not records:
+            extents = store.time_extents(rnti)
+            if extents is None:
                 continue
-            first, last = records[0].time_s, records[-1].time_s
+            first, last = extents
             if last - first < min_active_s:
                 continue
             if end_s - last > max_gap_s / 2:
@@ -270,15 +285,14 @@ def detect_handovers(streams: list[CellStream],
 
 def _activity_vector(stream: CellStream, rnti: int, bin_s: float,
                      end_s: float) -> np.ndarray:
-    """Binned new-data bits for one RNTI (the correlation feature)."""
-    n_bins = max(1, int(round(end_s / bin_s)))
-    vector = np.zeros(n_bins)
-    for record in stream.scope.telemetry.for_rnti(rnti, downlink=True):
-        if record.is_retransmission:
-            continue
-        index = min(int(record.time_s / bin_s), n_bins - 1)
-        vector[index] += record.tbs_bits
-    return vector
+    """Binned new-data bits for one RNTI (the correlation feature).
+
+    One row of the store's :meth:`~repro.core.telemetry_store.\
+TelemetryStore.activity_matrix` kernel; kept as the single-RNTI entry
+    point.
+    """
+    store = stream.scope.telemetry.store
+    return store.activity_matrix([rnti], bin_s, end_s)[0]
 
 
 def correlate_streams(a: CellStream, b: CellStream,
@@ -288,19 +302,33 @@ def correlate_streams(a: CellStream, b: CellStream,
     Returns (rnti in a, rnti in b, correlation) sorted best first.
     Carrier-aggregated legs of one device carry correlated traffic;
     unrelated UEs do not.
+
+    Each cell's activity matrix is built *once* (one scatter-add pass
+    over its columnar store) and every pairing correlates rows of it —
+    the seed rebuilt cell B's vector from scratch inside the cell-A
+    loop, an O(N²) full-telemetry rescan.
     """
     end_s = max(a.sim.now_s, b.sim.now_s)
-    pairs = []
-    for rnti_a in a.scope.telemetry.rntis():
-        va = _activity_vector(a, rnti_a, bin_s, end_s)
-        if va.std() == 0:
-            continue
-        for rnti_b in b.scope.telemetry.rntis():
-            vb = _activity_vector(b, rnti_b, bin_s, end_s)
-            if vb.std() == 0:
-                continue
-            corr = float(np.corrcoef(va, vb)[0, 1])
-            pairs.append((rnti_a, rnti_b, corr))
+    rntis_a = a.scope.telemetry.rntis()
+    rntis_b = b.scope.telemetry.rntis()
+    if not rntis_a or not rntis_b:
+        return []
+    matrix_a = a.scope.telemetry.store.activity_matrix(
+        rntis_a, bin_s, end_s)
+    matrix_b = b.scope.telemetry.store.activity_matrix(
+        rntis_b, bin_s, end_s)
+    keep_a = [i for i in range(len(rntis_a))
+              if float(matrix_a[i].std()) != 0.0]
+    keep_b = [j for j in range(len(rntis_b))
+              if float(matrix_b[j].std()) != 0.0]
+    if not keep_a or not keep_b:
+        return []
+    stacked = np.vstack([matrix_a[keep_a], matrix_b[keep_b]])
+    corr = np.corrcoef(stacked)
+    pairs = [(rntis_a[i], rntis_b[j],
+              float(corr[row, len(keep_a) + col]))
+             for row, i in enumerate(keep_a)
+             for col, j in enumerate(keep_b)]
     return sorted(pairs, key=lambda p: -p[2])
 
 
@@ -327,14 +355,24 @@ class FusedStream:
 
     def throughput_series(self, window_s: float) \
             -> list[tuple[float, float]]:
-        """Summed per-window bit rate across legs (the fused stream)."""
+        """Summed per-window bit rate across legs (the fused stream).
+
+        Every leg's series shares one end time and window width, so the
+        windows line up by *integer index* — the legs sum positionally.
+        (The seed merged on ``round(t, 9)`` float keys, which splits a
+        window in two once accumulated edges drift past the rounding.)
+        """
         if not self.legs:
             raise MultiCellError(f"device {self.device!r} has no legs")
         end_s = max(stream.sim.now_s for stream, _ in self.legs)
-        merged: dict[float, float] = {}
+        times: list[float] = []
+        totals: list[float] = []
         for stream, rnti in self.legs:
             series = stream.scope.telemetry.bitrate_series(
                 rnti, window_s, end_s)
-            for t, rate in series:
-                merged[round(t, 9)] = merged.get(round(t, 9), 0.0) + rate
-        return sorted(merged.items())
+            if not times:
+                times = [t for t, _ in series]
+                totals = [0.0] * len(series)
+            for index, (_, rate) in enumerate(series):
+                totals[index] += rate
+        return list(zip(times, totals))

@@ -41,7 +41,7 @@ from repro.core.sanitizer import Sanitizer, parallel_stage, \
     unwrap_tracked
 from repro.core.spare_capacity import SpareCapacityEstimator, TtiUsage
 from repro.core.decode_model import uci_decode_succeeds
-from repro.core.telemetry import TelemetryLog, TelemetryRecord
+from repro.core.telemetry import TelemetryLog
 from repro.core.throughput import ThroughputBank
 from repro.core.uci_telemetry import UciObservation, UciTelemetry
 from repro.phy.grant import dci_to_grant
@@ -354,11 +354,10 @@ class NRScope:
             grant = dci_to_grant(dci, ue.grant_config)
             is_retx = self.harq.observe(dci.rnti, dci.harq_id, dci.ndi,
                                         grant.downlink)
-            record = TelemetryRecord.from_decode(
-                slot_index=slot_index, time_s=time_s, dci=dci, grant=grant,
-                aggregation_level=item.aggregation_level,
+            self.telemetry.append_decode(
+                slot_index=slot_index, time_s=time_s, dci=dci,
+                grant=grant, aggregation_level=item.aggregation_level,
                 is_retransmission=is_retx)
-            self.telemetry.add(record)
             self.counters.dcis_decoded += 1
             if not is_retx:
                 self.throughput.add(dci.rnti, grant.downlink, time_s,
@@ -399,6 +398,67 @@ class NRScope:
     def runtime_stats(self) -> RuntimeStats:
         """Per-stage timing/counter snapshot of the slot runtime."""
         return self._runtime.stats()
+
+    # ---------------------------------------------------- checkpointing
+    def checkpoint_state(self) -> dict:
+        """Everything needed to resume this session after a restart.
+
+        Flushes the runtime first, so the snapshot sits on a slot
+        boundary with no in-flight decodes.  The dict holds *live*
+        references (tracked tables, the columnar telemetry store, RNG
+        states) — callers must serialise it before stepping the session
+        again.  The runtime itself (executors, locks) is deliberately
+        absent: a restored scope brings its own.
+        """
+        self.flush()
+        return {
+            "searcher": self.searcher,
+            "counters": self.counters,
+            "telemetry": self.telemetry,
+            "harq": self.harq,
+            "throughput": self.throughput,
+            "aggregation": self.aggregation,
+            "uci": self.uci,
+            "rach": self.rach,
+            "spare": self.spare,
+            "acquisitions": self.acquisitions,
+            "capture_phase": self._capture_phase,
+            "capture_amplitude": self._capture_amplitude,
+            "rng_state": self._rng.bit_generator.state,
+            "record_decoder": None if self._record_decoder is None
+            else self._record_decoder.checkpoint_state(),
+            "grid_decoder": None if self._grid_decoder is None
+            else self._grid_decoder.checkpoint_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`checkpoint_state` snapshot.
+
+        Call on a freshly attached scope before any slot is observed.
+        The restored searcher is already synchronized, so the
+        ``_on_synchronized`` hook never re-fires (its RNG draw already
+        happened in the checkpointed session — the restored RNG state
+        sits after it).
+        """
+        self.searcher = state["searcher"]
+        self.counters = state["counters"]
+        self.telemetry = state["telemetry"]
+        self.harq = state["harq"]
+        self.throughput = state["throughput"]
+        self.aggregation = state["aggregation"]
+        self.uci = state["uci"]
+        self.rach = state["rach"]
+        self.spare = state["spare"]
+        self.acquisitions = state["acquisitions"]
+        self._capture_phase = state["capture_phase"]
+        self._capture_amplitude = state["capture_amplitude"]
+        self._rng.bit_generator.state = state["rng_state"]
+        record = state["record_decoder"]
+        self._record_decoder = None if record is None \
+            else RecordDciDecoder.from_state(record)
+        grid = state["grid_decoder"]
+        self._grid_decoder = None if grid is None \
+            else GridDciDecoder.from_state(grid)
 
     # -------------------------------------------------------- stages
     def _stage_sync(self, ctx: SlotContext) -> bool | None:

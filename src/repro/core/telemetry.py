@@ -1,9 +1,13 @@
 """Telemetry records and the stream NR-Scope emits (paper Fig 4's log).
 
-Every decoded DCI becomes one :class:`TelemetryRecord`.  The
-:class:`TelemetryLog` indexes them for the consumers the paper describes:
-per-UE throughput series, retransmission ratios, MCS distributions, and
-the raw stream an application server would subscribe to.
+Every decoded DCI becomes one row of the columnar
+:class:`~repro.core.telemetry_store.TelemetryStore`;
+:class:`TelemetryRecord` is the row's dataclass view for consumers that
+want objects (JSONL serialisation, record-level tests, experiments).
+:class:`TelemetryLog` is a thin facade over the store keeping the seed's
+query API — per-UE throughput series, retransmission ratios, MCS
+distributions, and the raw stream an application server would subscribe
+to — while every query runs as a vectorized pass.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import Any
 
+from repro.core.telemetry_store import TelemetryStore
 from repro.phy.dci import Dci, DciFormat
 from repro.phy.grant import Grant
 
@@ -88,37 +93,81 @@ class TelemetryRecord:
         return cls(**kwargs)
 
 
-class TelemetryLog:
-    """Indexed store of everything NR-Scope decoded in a session."""
+def _materialize(rows: list[tuple]) -> list[TelemetryRecord]:
+    """Packed row tuples (RECORD_FIELDS order) back into dataclasses."""
+    return [TelemetryRecord(
+        slot_index=t[0], time_s=t[1], rnti=t[2], downlink=bool(t[3]),
+        tbs_bits=t[4], n_prb=t[5], n_symbols=t[6], mcs_index=t[7],
+        harq_id=t[8], ndi=t[9], rv=t[10],
+        is_retransmission=bool(t[11]), aggregation_level=t[12])
+        for t in rows]
 
-    def __init__(self) -> None:
-        self._records: list[TelemetryRecord] = []
-        self._by_rnti: dict[int, list[TelemetryRecord]] = {}
+
+class TelemetryLog:
+    """Indexed store of everything NR-Scope decoded in a session.
+
+    Since the columnar refactor this class is a facade: rows live in a
+    :class:`~repro.core.telemetry_store.TelemetryStore` and every query
+    delegates to its vectorized kernels.  ``records`` / ``for_rnti``
+    materialise :class:`TelemetryRecord` dataclasses on demand, so the
+    object-level API (and the JSONL byte format) is unchanged.
+    """
+
+    def __init__(self, store: TelemetryStore | None = None) -> None:
+        self._store = store if store is not None else TelemetryStore()
+
+    @property
+    def store(self) -> TelemetryStore:
+        """The columnar store behind this log."""
+        return self._store
 
     def add(self, record: TelemetryRecord) -> None:
         """Append one decode."""
-        self._records.append(record)
-        self._by_rnti.setdefault(record.rnti, []).append(record)
+        self._store.append(
+            slot_index=record.slot_index, time_s=record.time_s,
+            rnti=record.rnti, downlink=record.downlink,
+            tbs_bits=record.tbs_bits, n_prb=record.n_prb,
+            n_symbols=record.n_symbols, mcs_index=record.mcs_index,
+            harq_id=record.harq_id, ndi=record.ndi, rv=record.rv,
+            is_retransmission=record.is_retransmission,
+            aggregation_level=record.aggregation_level)
+
+    def append_decode(self, slot_index: int, time_s: float, dci: Dci,
+                      grant: Grant, aggregation_level: int,
+                      is_retransmission: bool) -> None:
+        """Append one decode straight from the DCI/grant pair.
+
+        The sink stage's hot path: no dataclass is constructed, the
+        fields go directly into the packed row.
+        """
+        self._store.append(
+            slot_index=slot_index, time_s=time_s, rnti=dci.rnti,
+            downlink=dci.format is DciFormat.DL_1_1,
+            tbs_bits=grant.tbs_bits, n_prb=grant.n_prb,
+            n_symbols=grant.n_symbols, mcs_index=dci.mcs,
+            harq_id=dci.harq_id, ndi=dci.ndi, rv=dci.rv,
+            is_retransmission=is_retransmission,
+            aggregation_level=aggregation_level)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._store)
 
     @property
     def records(self) -> list[TelemetryRecord]:
         """All records in decode order."""
-        return list(self._records)
+        return _materialize(self._store.table().tolist())
 
     def for_rnti(self, rnti: int, downlink: bool | None = None) \
             -> list[TelemetryRecord]:
         """Records for one UE, optionally filtered by direction."""
-        records = self._by_rnti.get(rnti, [])
-        if downlink is None:
-            return list(records)
-        return [r for r in records if r.downlink == downlink]
+        sub = self._store.table()[self._store.rows_for_rnti(rnti)]
+        if downlink is not None:
+            sub = sub[sub["downlink"] == (1 if downlink else 0)]
+        return _materialize(sub.tolist())
 
     def rntis(self) -> list[int]:
         """Every RNTI seen in the session."""
-        return sorted(self._by_rnti)
+        return self._store.rntis()
 
     def bits_between(self, rnti: int, start_s: float, end_s: float,
                      downlink: bool = True,
@@ -129,55 +178,46 @@ class TelemetryLog:
         counted when the HARQ process first carried them, which is what
         makes the estimate comparable to tcpdump's delivered bytes.
         """
-        total = 0
-        for record in self._by_rnti.get(rnti, []):
-            if record.downlink != downlink:
-                continue
-            if not start_s <= record.time_s < end_s:
-                continue
-            if record.is_retransmission and not count_retransmissions:
-                continue
-            total += record.tbs_bits
-        return total
+        return self._store.bits_between(
+            rnti, start_s, end_s, downlink=downlink,
+            count_retransmissions=count_retransmissions)
 
     def bitrate_series(self, rnti: int, window_s: float, end_time_s: float,
                        downlink: bool = True) -> list[tuple[float, float]]:
-        """(window end, bits/s) estimates — the paper Fig 14 time series."""
+        """(window end, bits/s) estimates — the paper Fig 14 time series.
+
+        Window edges come from integer window indices (``k * window_s``,
+        one multiply each); the seed accumulated ``t += window_s``,
+        which drifts over long series.
+        """
         if window_s <= 0:
             raise TelemetryError(f"window must be positive: {window_s}")
-        series = []
-        t = window_s
-        while t <= end_time_s + 1e-9:
-            bits = self.bits_between(rnti, t - window_s, t, downlink)
-            series.append((t, bits / window_s))
-            t += window_s
-        return series
+        return self._store.bitrate_series(rnti, window_s, end_time_s,
+                                          downlink=downlink)
 
     def mcs_distribution(self, rnti: int | None = None,
                          downlink: bool = True) -> list[int]:
         """MCS indices of decoded (new-data) DCIs (paper Fig 15 left)."""
-        records = self._records if rnti is None \
-            else self._by_rnti.get(rnti, [])
-        return [r.mcs_index for r in records
-                if r.downlink == downlink and not r.is_retransmission]
+        return self._store.mcs_distribution(rnti, downlink=downlink)
 
     def retransmission_ratio(self, rnti: int | None = None,
                              downlink: bool = True) -> float:
         """Fraction of decoded DCIs that were retransmissions (Fig 15)."""
-        records = self._records if rnti is None \
-            else self._by_rnti.get(rnti, [])
-        relevant = [r for r in records if r.downlink == downlink]
-        if not relevant:
-            return 0.0
-        return sum(r.is_retransmission for r in relevant) / len(relevant)
+        return self._store.retransmission_ratio(rnti, downlink=downlink)
 
     def write_jsonl(self, path: str | Path) -> int:
-        """Dump the session to a JSON-lines file; returns the line count."""
+        """Dump the session to a JSON-lines file; returns the line count.
+
+        Byte-identical to the seed format: rows materialise through
+        :meth:`TelemetryRecord.to_json` line by line.
+        """
         target = Path(path)
+        count = 0
         with target.open("w", encoding="utf-8") as handle:
-            for record in self._records:
+            for record in self.records:
                 handle.write(record.to_json() + "\n")
-        return len(self._records)
+                count += 1
+        return count
 
     @classmethod
     def read_jsonl(cls, path: str | Path) -> "TelemetryLog":

@@ -1,0 +1,378 @@
+"""The columnar-telemetry bench: store vs per-record baseline.
+
+Quantifies what the columnar :class:`~repro.core.telemetry_store.
+TelemetryStore` buys over the seed's object-per-record ``TelemetryLog``
+on one synthetic 100k-record session:
+
+* **ingest** — records/second appending row by row (the sink stage's
+  hot path);
+* **query latency** — the four query families every analysis pass
+  leans on (windowed ``bits_between``, ``bitrate_series``,
+  ``mcs_distribution``, ``retransmission_ratio``), object loops vs
+  vectorized kernels, with the results asserted equal before any
+  timing is trusted;
+* **memory** — live bytes per record after ingest (tracemalloc), the
+  dataclass-plus-list representation vs packed structured-array chunks.
+
+The baseline :class:`_ObjectTelemetryLog` replicates the seed's
+pre-columnar implementation: a list of
+:class:`~repro.core.telemetry.TelemetryRecord` objects, a per-RNTI
+index of references, and pure-Python accumulation loops.
+
+The result is written to ``BENCH_telemetry.json`` (schema
+``bench-telemetry/v1``); CI runs a tiny config and validates the
+schema with :func:`validate_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.telemetry import TelemetryRecord
+from repro.core.telemetry_store import TelemetryStore, window_count
+from repro.experiments.common import ExperimentError
+
+SCHEMA = "bench-telemetry/v1"
+
+N_RECORDS = 100_000
+QUICK_N_RECORDS = 5_000
+
+#: Distinct UEs in the synthetic session and the slot cadence
+#: (30 kHz numerology) the timestamps follow.
+_N_UES = 24
+_FIRST_RNTI = 0x4601
+_SLOT_DURATION_S = 5e-4
+
+#: Query-family parameters: throughput series window and the window
+#: count the ``bits_between`` family sweeps.
+_SERIES_WINDOW_S = 0.2
+_BITS_WINDOWS = 32
+
+#: Timed repetitions per query family (best-of, to shed scheduler
+#: noise) — ingest and memory are single-shot by nature.
+QUERY_REPEATS = 3
+
+
+class _ObjectTelemetryLog:
+    """The seed's per-record log: objects, reference index, loops."""
+
+    def __init__(self) -> None:
+        self._records: list[TelemetryRecord] = []
+        self._by_rnti: dict[int, list[TelemetryRecord]] = {}
+
+    def add(self, record: TelemetryRecord) -> None:
+        self._records.append(record)
+        self._by_rnti.setdefault(record.rnti, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def bits_between(self, rnti: int, start_s: float, end_s: float,
+                     downlink: bool = True,
+                     count_retransmissions: bool = False) -> int:
+        total = 0
+        for record in self._by_rnti.get(rnti, []):
+            if record.downlink != downlink:
+                continue
+            if not (start_s <= record.time_s < end_s):
+                continue
+            if record.is_retransmission and not count_retransmissions:
+                continue
+            total += record.tbs_bits
+        return total
+
+    def bitrate_series(self, rnti: int, window_s: float,
+                       end_time_s: float, downlink: bool = True) \
+            -> list[tuple[float, float]]:
+        # Integer-window edges (the repaired semantics — the seed's
+        # ``t += window_s`` drift fix is orthogonal to the columnar
+        # perf question), but per-window Python accumulation loops.
+        series = []
+        n_windows = window_count(end_time_s, window_s)
+        for k in range(n_windows):
+            bits = self.bits_between(rnti, k * window_s,
+                                     (k + 1) * window_s, downlink)
+            series.append(((k + 1) * window_s, bits / window_s))
+        return series
+
+    def mcs_distribution(self, rnti: int | None = None,
+                         downlink: bool = True) -> list[int]:
+        return [r.mcs_index for r in self._records
+                if r.downlink == downlink
+                and not r.is_retransmission
+                and (rnti is None or r.rnti == rnti)]
+
+    def retransmission_ratio(self, rnti: int | None = None,
+                             downlink: bool = True) -> float:
+        relevant = [r for r in self._records
+                    if r.downlink == downlink
+                    and (rnti is None or r.rnti == rnti)]
+        if not relevant:
+            return 0.0
+        return sum(r.is_retransmission for r in relevant) / len(relevant)
+
+
+def synth_rows(n_records: int, seed: int = 0) -> list[tuple]:
+    """Deterministic synthetic session rows (RECORD_FIELDS order)."""
+    rng = np.random.default_rng(seed)
+    slots = np.arange(n_records, dtype=np.int64)
+    times = slots * _SLOT_DURATION_S
+    rntis = _FIRST_RNTI + rng.integers(0, _N_UES, n_records)
+    downlink = rng.random(n_records) < 0.8
+    n_prb = rng.integers(1, 52, n_records)
+    n_symbols = rng.choice([4, 7, 12, 14], n_records)
+    mcs = rng.integers(0, 28, n_records)
+    tbs = (n_prb * n_symbols * (mcs + 1) * 12).astype(np.int64)
+    harq = rng.integers(0, 16, n_records)
+    ndi = rng.integers(0, 2, n_records)
+    rv = rng.integers(0, 4, n_records)
+    retx = rng.random(n_records) < 0.07
+    level = rng.choice([1, 2, 4, 8], n_records)
+    return list(zip(
+        slots.tolist(), times.tolist(), rntis.tolist(),
+        downlink.tolist(), tbs.tolist(), n_prb.tolist(),
+        n_symbols.tolist(), mcs.tolist(), harq.tolist(), ndi.tolist(),
+        rv.tolist(), retx.tolist(), level.tolist()))
+
+
+def _record_of(row: tuple) -> TelemetryRecord:
+    return TelemetryRecord(
+        slot_index=row[0], time_s=row[1], rnti=row[2], downlink=row[3],
+        tbs_bits=row[4], n_prb=row[5], n_symbols=row[6],
+        mcs_index=row[7], harq_id=row[8], ndi=row[9], rv=row[10],
+        is_retransmission=row[11], aggregation_level=row[12])
+
+
+def _fill_object(rows: list[tuple]) -> _ObjectTelemetryLog:
+    log = _ObjectTelemetryLog()
+    for row in rows:
+        log.add(_record_of(row))
+    return log
+
+
+def _fill_store(rows: list[tuple]) -> TelemetryStore:
+    store = TelemetryStore()
+    for row in rows:
+        store.append(
+            slot_index=row[0], time_s=row[1], rnti=row[2],
+            downlink=row[3], tbs_bits=row[4], n_prb=row[5],
+            n_symbols=row[6], mcs_index=row[7], harq_id=row[8],
+            ndi=row[9], rv=row[10], is_retransmission=row[11],
+            aggregation_level=row[12])
+    return store
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One query family's timings (microseconds, best-of-repeats)."""
+
+    name: str
+    object_us: float
+    store_us: float
+
+    @property
+    def speedup(self) -> float:
+        return self.object_us / max(self.store_us, 1e-9)
+
+
+def _time_us(fn) -> float:
+    best = float("inf")
+    for _ in range(QUERY_REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return 1e6 * best
+
+
+def _measure_queries(obj: _ObjectTelemetryLog, store: TelemetryStore,
+                     end_s: float) -> list[QueryResult]:
+    """Time the four families, asserting object/store agreement."""
+    rntis = store.rntis()
+    probe = rntis[: max(1, len(rntis) // 4)]
+    edges = np.linspace(0.0, end_s, _BITS_WINDOWS + 1)
+    windows = list(zip(edges[:-1].tolist(), edges[1:].tolist()))
+
+    def bits_object() -> list[int]:
+        return [obj.bits_between(r, lo, hi)
+                for r in probe for lo, hi in windows]
+
+    def bits_store() -> list[int]:
+        return [store.bits_between(r, lo, hi)
+                for r in probe for lo, hi in windows]
+
+    def series_object() -> list:
+        return [obj.bitrate_series(r, _SERIES_WINDOW_S, end_s)
+                for r in probe]
+
+    def series_store() -> list:
+        return [store.bitrate_series(r, _SERIES_WINDOW_S, end_s)
+                for r in probe]
+
+    checks: list[tuple[str, object, object]] = [
+        ("bits_between", bits_object(), bits_store()),
+        ("mcs_distribution", obj.mcs_distribution(),
+         store.mcs_distribution()),
+        ("retransmission_ratio", obj.retransmission_ratio(),
+         store.retransmission_ratio()),
+    ]
+    for name, want, got in checks:
+        if want != got:
+            raise ExperimentError(
+                f"{name}: store disagrees with the object baseline")
+    for want_series, got_series in zip(series_object(), series_store()):
+        if len(want_series) != len(got_series):
+            raise ExperimentError("bitrate_series: length mismatch")
+        for (_, want_rate), (_, got_rate) in zip(want_series,
+                                                 got_series):
+            if abs(want_rate - got_rate) > 1e-6:
+                raise ExperimentError(
+                    "bitrate_series: store disagrees with the object "
+                    "baseline")
+
+    return [
+        QueryResult("bits_between", _time_us(bits_object),
+                    _time_us(bits_store)),
+        QueryResult("bitrate_series", _time_us(series_object),
+                    _time_us(series_store)),
+        QueryResult("mcs_distribution",
+                    _time_us(obj.mcs_distribution),
+                    _time_us(store.mcs_distribution)),
+        QueryResult("retransmission_ratio",
+                    _time_us(obj.retransmission_ratio),
+                    _time_us(store.retransmission_ratio)),
+    ]
+
+
+def _live_bytes(fill, rows: list[tuple]) -> int:
+    """Live allocation of one representation, via tracemalloc."""
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    holder = fill(rows)
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(holder) == len(rows)
+    return max(after - before, 1)
+
+
+def run(n_records: int = N_RECORDS, seed: int = 0) -> dict:
+    """The full measurement; returns the document body (no I/O)."""
+    if n_records < 100:
+        raise ExperimentError(
+            f"bench needs >= 100 records: {n_records}")
+    rows = synth_rows(n_records, seed=seed)
+    end_s = rows[-1][1] + _SLOT_DURATION_S
+
+    start = time.perf_counter()
+    obj = _fill_object(rows)
+    object_ingest_s = time.perf_counter() - start
+    start = time.perf_counter()
+    store = _fill_store(rows)
+    store_ingest_s = time.perf_counter() - start
+
+    queries = _measure_queries(obj, store, end_s)
+    object_bytes = _live_bytes(_fill_object, rows)
+    store_bytes = _live_bytes(_fill_store, rows)
+
+    ratios = [q.speedup for q in queries]
+    overall_speedup = float(np.exp(np.mean(np.log(ratios))))
+    memory_reduction = object_bytes / store_bytes
+    return {
+        "schema": SCHEMA,
+        "n_records": n_records,
+        "ingest": {
+            "object_records_per_s":
+                round(n_records / max(object_ingest_s, 1e-9)),
+            "store_records_per_s":
+                round(n_records / max(store_ingest_s, 1e-9)),
+        },
+        "memory": {
+            "object_bytes_per_record":
+                round(object_bytes / n_records, 1),
+            "store_bytes_per_record":
+                round(store_bytes / n_records, 1),
+            "reduction": round(memory_reduction, 2),
+        },
+        "queries": [
+            {
+                "name": q.name,
+                "object_us": round(q.object_us, 1),
+                "store_us": round(q.store_us, 1),
+                "speedup": round(q.speedup, 2),
+            }
+            for q in queries
+        ],
+        "overall_query_speedup": round(overall_speedup, 2),
+    }
+
+
+def validate_bench(doc: dict) -> None:
+    """Raise :class:`ExperimentError` unless ``doc`` is a well-formed
+    ``bench-telemetry/v1`` document (the CI bench-smoke gate)."""
+    if doc.get("schema") != SCHEMA:
+        raise ExperimentError(f"bad schema: {doc.get('schema')!r}")
+    for key in ("n_records", "ingest", "memory", "queries",
+                "overall_query_speedup"):
+        if key not in doc:
+            raise ExperimentError(f"missing key: {key!r}")
+    for key in ("object_records_per_s", "store_records_per_s"):
+        value = doc["ingest"].get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ExperimentError(f"bad ingest {key}: {value!r}")
+    for key in ("object_bytes_per_record", "store_bytes_per_record",
+                "reduction"):
+        value = doc["memory"].get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ExperimentError(f"bad memory {key}: {value!r}")
+    if not isinstance(doc["queries"], list) or not doc["queries"]:
+        raise ExperimentError("queries must be a non-empty list")
+    for query in doc["queries"]:
+        for key in ("object_us", "store_us", "speedup"):
+            value = query.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ExperimentError(
+                    f"{query.get('name')}: bad {key}: {value!r}")
+    overall = doc["overall_query_speedup"]
+    if not isinstance(overall, (int, float)) or overall <= 0:
+        raise ExperimentError(f"bad overall speedup: {overall!r}")
+
+
+def render(doc: dict) -> str:
+    """Human-readable summary of a bench document."""
+    lines = [f"BENCH telemetry ({doc['n_records']} records)"]
+    ingest = doc["ingest"]
+    lines.append(
+        f"ingest: object {ingest['object_records_per_s']:,.0f} rec/s, "
+        f"store {ingest['store_records_per_s']:,.0f} rec/s")
+    memory = doc["memory"]
+    lines.append(
+        f"memory: object {memory['object_bytes_per_record']:.0f} "
+        f"B/rec, store {memory['store_bytes_per_record']:.0f} B/rec "
+        f"({memory['reduction']:.1f}x smaller)")
+    lines.append("query".ljust(24) + f"{'object us':>12}"
+                 f"{'store us':>12}{'speedup':>10}")
+    for query in doc["queries"]:
+        lines.append(query["name"].ljust(24)
+                     + f"{query['object_us']:12.0f}"
+                     + f"{query['store_us']:12.0f}"
+                     + f"{query['speedup']:9.1f}x")
+    lines.append(
+        f"overall query speedup: {doc['overall_query_speedup']:.1f}x")
+    return "\n".join(lines)
+
+
+def main(out_path: str = "BENCH_telemetry.json",
+         quick: bool = False, n_records: int | None = None) -> dict:
+    """Run the bench and write the JSON document; returns it."""
+    count = n_records if n_records is not None \
+        else (QUICK_N_RECORDS if quick else N_RECORDS)
+    doc = run(n_records=count)
+    validate_bench(doc)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return doc

@@ -8,7 +8,8 @@ events with run ids and commit-order sequence numbers, and the
 failure-clustering TopN analysis (:mod:`repro.obs.topn`).
 
 ``reporters_from_specs`` parses the CLI's ``--obs`` arguments
-(``jsonl:PATH``, ``counters``, ``ring[:N]``) into reporter instances.
+(``jsonl:PATH``, ``counters``, ``ring[:N]``, ``tail[:stdout]``) into
+reporter instances.
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from repro.obs.context import AnyObsContext, Obs, ObsContext, OBS_NOOP
 from repro.obs.events import EventSpec, KNOWN_EVENTS, SCHEMA_VERSION, \
     validate_event, validate_events
 from repro.obs.reporters import CounterReporter, JsonlReporter, \
-    Reporter, ReporterError, RingReporter
+    Reporter, ReporterError, RingReporter, TailReporter
 from repro.obs.topn import cluster_failures, load_events, \
     render_markdown, report_to_json
 
@@ -27,7 +28,7 @@ __all__ = [
     "validate_event", "validate_events", "CounterReporter",
     "JsonlReporter", "Reporter", "ReporterError", "RingReporter",
     "cluster_failures", "load_events", "render_markdown",
-    "report_to_json", "reporters_from_specs",
+    "report_to_json", "reporters_from_specs", "TailReporter",
 ]
 
 
@@ -36,7 +37,9 @@ def reporters_from_specs(specs: list[str]) -> list[Reporter]:
 
     * ``jsonl:PATH`` — a :class:`JsonlReporter` writing to ``PATH``;
     * ``counters``   — a :class:`CounterReporter` (text dump at exit);
-    * ``ring[:N]``   — a :class:`RingReporter` of capacity ``N``.
+    * ``ring[:N]``   — a :class:`RingReporter` of capacity ``N``;
+    * ``tail[:stdout]`` — a :class:`TailReporter` live-tailing every
+      event as a JSON line (stderr unless ``stdout`` is asked for).
     """
     reporters: list[Reporter] = []
     for spec in specs:
@@ -61,6 +64,15 @@ def reporters_from_specs(specs: list[str]) -> list[Reporter]:
                 reporters.append(RingReporter(capacity))
             else:
                 reporters.append(RingReporter())
+        elif base == "tail":
+            if suffix == "stdout":
+                import sys
+                reporters.append(TailReporter(sys.stdout))
+            elif suffix in ("", "stderr"):
+                reporters.append(TailReporter())
+            else:
+                raise ReporterError(
+                    f"tail reporter wants stdout or stderr: {spec!r}")
         else:
             raise ReporterError(f"unknown obs reporter spec: {spec!r}")
     return reporters

@@ -95,6 +95,31 @@ class RingReporter:
         return None
 
 
+class TailReporter:
+    """Live-tails the stream: one compact JSON line per event.
+
+    The operator's ``tail -f`` surface — watch a fleet's checkpoint
+    spans and failure events as they commit, without waiting for a
+    JSONL file to flush.  Writes to ``stderr`` by default (keeping
+    ``stdout`` clean for command output) and flushes per event; the
+    stream object is borrowed, so :meth:`close` never closes it.
+    """
+
+    def __init__(self, stream: Any = None) -> None:
+        import sys
+        self._stream = stream if stream is not None else sys.stderr
+        self.count = 0
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._stream.write(
+            json.dumps(event, separators=(",", ":")) + "\n")
+        self._stream.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        return None
+
+
 #: Event fields promoted to metric labels (low-cardinality by design;
 #: ``rnti`` and ``slot`` stay event-only so counters cannot explode).
 LABEL_KEYS = ("cell", "stage", "reason", "outcome")

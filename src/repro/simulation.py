@@ -215,6 +215,32 @@ class Simulation:
         """Current simulated time."""
         return self.clock.time_s
 
+    # -------------------------------------------------- checkpointing
+    def checkpoint_state(self) -> dict:
+        """Everything needed to resume this cell after a restart.
+
+        The dict holds *live* references (the gNB with its tracked UEs,
+        the scheduled-session list, the RNG) — serialise it before
+        stepping the simulation again.  Observers are deliberately
+        absent: a restored simulation starts with none, and the scope
+        re-registers itself on attach.
+        """
+        return {"profile": self.profile, "gnb": self.gnb,
+                "medium": self.medium, "seed": self.seed,
+                "clock": self.clock, "sessions": self._sessions,
+                "rng": self._rng, "slots_run": self.slots_run}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Simulation":
+        """Rebuild a mid-run simulation from :meth:`checkpoint_state`."""
+        sim = cls(state["profile"], state["gnb"], state["medium"],
+                  seed=state["seed"])
+        sim.clock = state["clock"]
+        sim._sessions = state["sessions"]
+        sim._rng = state["rng"]
+        sim.slots_run = state["slots_run"]
+        return sim
+
     def sniffer_link(self, position: Position | None = None,
                      snr_db: float | None = None) -> Link:
         """Resolve the sniffer's receive link.

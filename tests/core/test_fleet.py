@@ -1,0 +1,163 @@
+"""Tests for the checkpointable fleet supervisor."""
+
+import pickle
+
+import pytest
+
+from repro.core.fleet import CHECKPOINT_VERSION, FleetConfig, \
+    FleetError, FleetSupervisor
+from repro.obs import KNOWN_EVENTS, ObsContext, RingReporter, \
+    validate_events
+
+
+def small_config(**overrides) -> FleetConfig:
+    defaults = dict(n_cells=2, seed=3, arrivals_per_second=3.0,
+                    holding_p90_s=4.0, horizon_s=1.2,
+                    checkpoint_interval_s=0.6)
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def telemetry_of(supervisor: FleetSupervisor) -> dict:
+    out = {}
+    for name in supervisor.controller.cells:
+        scope = supervisor.controller.stream(name).scope
+        out[name] = scope.telemetry.records
+    return out
+
+
+class TestBuild:
+    def test_build_names_and_populations(self):
+        supervisor = FleetSupervisor.build(small_config())
+        assert supervisor.controller.cells == ["srsran-0", "srsran-1"]
+        for name in supervisor.controller.cells:
+            sim = supervisor.controller.stream(name).sim
+            assert sim._sessions, f"{name} has no come-and-go sessions"
+
+    def test_cells_use_distinct_seeds_and_ue_ids(self):
+        supervisor = FleetSupervisor.build(small_config())
+        seeds = set()
+        ue_ids = []
+        for name in supervisor.controller.cells:
+            sim = supervisor.controller.stream(name).sim
+            seeds.add(sim.seed)
+            ue_ids.extend(e.session.ue_id for e in sim._sessions)
+        assert len(seeds) == 2
+        assert len(ue_ids) == len(set(ue_ids))
+
+    def test_rejects_bad_configs(self):
+        with pytest.raises(FleetError):
+            FleetSupervisor.build(small_config(n_cells=0))
+        with pytest.raises(FleetError):
+            FleetSupervisor.build(small_config(profile="nope"))
+        with pytest.raises(FleetError):
+            FleetSupervisor.build(small_config(horizon_s=0.0))
+        with pytest.raises(FleetError):
+            FleetSupervisor.build(
+                small_config(checkpoint_interval_s=0.0))
+
+    def test_negative_run_rejected(self):
+        supervisor = FleetSupervisor.build(small_config())
+        with pytest.raises(FleetError):
+            supervisor.run(-1.0)
+
+
+class TestCheckpointResume:
+    def test_resumed_run_is_identical_to_uninterrupted(self, tmp_path):
+        config = small_config()
+        baseline = FleetSupervisor.build(config)
+        baseline.run(1.2)
+
+        path = tmp_path / "fleet.ckpt"
+        interrupted = FleetSupervisor.build(config)
+        interrupted.run(0.6, checkpoint_path=path)
+        del interrupted  # the killed process
+        resumed = FleetSupervisor.restore(path)
+        assert resumed.now_s == pytest.approx(0.6)
+        resumed.run(0.6)
+
+        assert resumed.now_s == pytest.approx(baseline.now_s)
+        want, got = telemetry_of(baseline), telemetry_of(resumed)
+        assert want.keys() == got.keys()
+        for name in want:
+            assert want[name] == got[name], f"{name} diverged"
+            a = baseline.controller.stream(name).scope
+            b = resumed.controller.stream(name).scope
+            assert a.counters == b.counters
+            assert a.tracked_rntis == b.tracked_rntis
+
+    def test_resumed_jsonl_bytes_identical(self, tmp_path):
+        config = small_config(n_cells=1)
+        baseline = FleetSupervisor.build(config)
+        baseline.run(1.2)
+        path = tmp_path / "fleet.ckpt"
+        interrupted = FleetSupervisor.build(config)
+        interrupted.run(0.6, checkpoint_path=path)
+        resumed = FleetSupervisor.restore(path)
+        resumed.run(0.6)
+        cell = baseline.controller.cells[0]
+        a_path = tmp_path / "a.jsonl"
+        b_path = tmp_path / "b.jsonl"
+        baseline.controller.stream(cell).scope.telemetry \
+            .write_jsonl(a_path)
+        resumed.controller.stream(cell).scope.telemetry \
+            .write_jsonl(b_path)
+        assert a_path.read_bytes() == b_path.read_bytes()
+
+    def test_checkpoint_written_atomically(self, tmp_path):
+        supervisor = FleetSupervisor.build(small_config(n_cells=1))
+        path = tmp_path / "fleet.ckpt"
+        supervisor.run(0.6, checkpoint_path=path)
+        assert path.exists()
+        assert not path.with_suffix(".ckpt.tmp").exists()
+
+    def test_restore_missing_file_raises(self, tmp_path):
+        with pytest.raises(FleetError):
+            FleetSupervisor.restore(tmp_path / "absent.ckpt")
+
+    def test_restore_rejects_foreign_version(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        path.write_bytes(pickle.dumps(
+            {"version": CHECKPOINT_VERSION + 1, "cells": []}))
+        with pytest.raises(FleetError):
+            FleetSupervisor.restore(path)
+
+    def test_restore_rejects_garbage(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(FleetError):
+            FleetSupervisor.restore(path)
+
+    def test_write_segments_per_cell(self, tmp_path):
+        supervisor = FleetSupervisor.build(small_config())
+        supervisor.run(0.6)
+        written = supervisor.write_segments(tmp_path / "segments")
+        assert set(written) == set(supervisor.controller.cells)
+        for name, rows in written.items():
+            scope = supervisor.controller.stream(name).scope
+            assert rows == len(scope.telemetry)
+            assert (tmp_path / "segments" / name
+                    / "manifest.json").exists()
+
+
+class TestObsSpans:
+    def test_checkpoint_and_restore_spans_on_the_bus(self, tmp_path):
+        ring = RingReporter()
+        obs = ObsContext.create([ring], run_id="fleet-test")
+        supervisor = FleetSupervisor.build(
+            small_config(n_cells=1), obs=obs)
+        path = tmp_path / "fleet.ckpt"
+        supervisor.run(0.6, checkpoint_path=path)
+        FleetSupervisor.restore(path, obs=obs)
+        events = ring.events
+        checkpoints = [e for e in events
+                       if e["name"] == "fleet.checkpoint"]
+        restores = [e for e in events if e["name"] == "fleet.restore"]
+        assert len(checkpoints) == 1
+        assert len(restores) == 1
+        for event in checkpoints + restores:
+            assert event["kind"] == "span"
+            assert event["cells"] == 1
+            assert event["bytes"] > 0
+            assert event["duration_us"] > 0
+        assert validate_events(events, registry=KNOWN_EVENTS) == []
